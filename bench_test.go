@@ -1,0 +1,126 @@
+package passivespread
+
+import (
+	"fmt"
+	"testing"
+
+	"passivespread/internal/core"
+	"passivespread/internal/dist"
+	"passivespread/internal/experiment"
+)
+
+// benchExperiment runs one registered experiment per iteration in Quick
+// mode. Each experiment reproduces one table/figure/lemma of the paper
+// (see DESIGN.md §3); the full-size outputs recorded in EXPERIMENTS.md
+// come from `fetlab -full`.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(experiment.Config{Seed: uint64(i) + 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Sections) == 0 && len(rep.Notes) == 0 {
+			b.Fatalf("%s produced an empty report", id)
+		}
+	}
+}
+
+func BenchmarkE01ConvergenceScaling(b *testing.B) { benchExperiment(b, "E01") }
+func BenchmarkE02DomainMap(b *testing.B)          { benchExperiment(b, "E02") }
+func BenchmarkE03TransitionDiagram(b *testing.B)  { benchExperiment(b, "E03") }
+func BenchmarkE04YellowPartition(b *testing.B)    { benchExperiment(b, "E04") }
+func BenchmarkE05Green(b *testing.B)              { benchExperiment(b, "E05") }
+func BenchmarkE06Purple(b *testing.B)             { benchExperiment(b, "E06") }
+func BenchmarkE07Red(b *testing.B)                { benchExperiment(b, "E07") }
+func BenchmarkE08Cyan(b *testing.B)               { benchExperiment(b, "E08") }
+func BenchmarkE09YellowEscape(b *testing.B)       { benchExperiment(b, "E09") }
+func BenchmarkE10CoinBounds(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11Impossibility(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12ClockedBaseline(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkE13SampleAblation(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14FETvsSimple(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15MultiSource(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkE16Engines(b *testing.B)            { benchExperiment(b, "E16") }
+func BenchmarkE17Resources(b *testing.B)          { benchExperiment(b, "E17") }
+func BenchmarkE18Baselines(b *testing.B)          { benchExperiment(b, "E18") }
+
+// Extensions beyond the paper (E19–E22; see DESIGN.md §3).
+
+func BenchmarkE19NoiseRobustness(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkE20Restabilization(b *testing.B) { benchExperiment(b, "E20") }
+func BenchmarkE21MeanField(b *testing.B)       { benchExperiment(b, "E21") }
+func BenchmarkE22AsyncScheduling(b *testing.B) { benchExperiment(b, "E22") }
+
+// Micro-benchmarks of the performance-critical primitives.
+
+// BenchmarkFETFullRun measures a complete dissemination at n = 4096 from
+// the all-wrong start (the headline operation of the library).
+func BenchmarkFETFullRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Disseminate(Options{N: 4096, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkFETRoundByN measures the per-round cost of the agent engine.
+func BenchmarkFETRoundByN(b *testing.B) {
+	for _, n := range []int{1024, 16384, 131072} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ell := SampleSize(n)
+			rounds := 0
+			res, err := Run(Config{
+				N:         n,
+				Protocol:  NewFET(ell),
+				Init:      FractionInit(0.5),
+				Correct:   OpinionOne,
+				Seed:      1,
+				MaxRounds: b.N,
+				RunToEnd:  true,
+				OnRound: func(int, float64) bool {
+					rounds++
+					return true
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+			b.ReportMetric(float64(n), "agents/round")
+		})
+	}
+}
+
+// BenchmarkChainStep measures one aggregate-chain step at n = 10^9: the
+// O(ℓ) exact-probability path plus two BTRS binomial draws.
+func BenchmarkChainStep(b *testing.B) {
+	n := 1_000_000_000
+	c := NewChain(n, core.SampleSize(n, core.DefaultC), 1)
+	s := c.StateAt(0.4, 0.5)
+	for i := 0; i < b.N; i++ {
+		s = c.Step(s)
+		if c.Absorbed(s) {
+			s = c.StateAt(0.4, 0.5)
+		}
+	}
+}
+
+// BenchmarkCompete measures the exact competition-probability kernel that
+// dominates chain stepping.
+func BenchmarkCompete(b *testing.B) {
+	ell := core.SampleSize(1<<20, core.DefaultC)
+	var sink dist.Competition
+	for i := 0; i < b.N; i++ {
+		sink = dist.Compete(ell, 0.45, 0.55)
+	}
+	_ = sink
+}

@@ -1,0 +1,55 @@
+// Command fetdomains renders the paper's state-space figures as ASCII
+// maps: Figure 1a (the Green/Purple/Red/Cyan/Yellow partition of the grid
+// G) and Figure 2 (the A/B/C partition of the Yellow′ box).
+//
+// Usage:
+//
+//	fetdomains [-n 1048576] [-delta 0.05] [-res 64] [-figure 1a|2|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"passivespread/internal/domain"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 1<<20, "population size (sets 1/log n and λ_n)")
+		delta  = flag.Float64("delta", domain.DefaultDelta, "the paper's δ")
+		res    = flag.Int("res", 64, "map resolution (lattice points per axis − 1)")
+		figure = flag.String("figure", "both", "which figure to render: 1a, 2, or both")
+	)
+	flag.Parse()
+
+	p := domain.Params{N: *n, Delta: *delta}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("n = %d, δ = %v, 1/ln n = %.4f, λ_n = %.4f\n\n", *n, *delta, 1/p.LogN(), p.Lambda())
+
+	if *figure == "1a" || *figure == "both" {
+		fmt.Println("Figure 1a — domain partition of G (x_t →, x_{t+1} ↑)")
+		fmt.Println("legend: G/g Green, P/p Purple, R/r Red, C/c Cyan, Y Yellow (upper case = 1-side)")
+		fmt.Println()
+		fmt.Print(p.RenderMap(*res))
+		fmt.Println()
+		counts := p.CountCells(*res)
+		for _, k := range domain.Kinds() {
+			if counts[k] > 0 {
+				fmt.Printf("  %-8s %6d cells\n", k, counts[k])
+			}
+		}
+		fmt.Println()
+	}
+	if *figure == "2" || *figure == "both" {
+		fmt.Println("Figure 2 — Yellow′ partition (A/B/C; upper case = 1-side)")
+		fmt.Println()
+		fmt.Print(p.RenderYellowMap(*res))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,81 @@
+// Command fetlab runs the reproduction experiments (E01–E18), one per
+// figure, theorem, lemma, or design claim of the paper. See DESIGN.md §3
+// for the experiment index and EXPERIMENTS.md for recorded full-size
+// results.
+//
+// Usage:
+//
+//	fetlab -list
+//	fetlab -run E01,E02 [-quick] [-seed 42] [-format text|markdown]
+//	fetlab -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"passivespread/internal/experiment"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+		runIDs  = flag.String("run", "", "comma-separated experiment IDs to run (e.g. E01,E03)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced sweep sizes (CI scale)")
+		seed    = flag.Uint64("seed", 42, "root random seed")
+		format  = flag.String("format", "text", "output format: text or markdown")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%s  %-55s  [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiment.All() {
+			ids = append(ids, e.ID)
+		}
+	case *runIDs != "":
+		for _, id := range strings.Split(*runIDs, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -all, or -run IDs")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiment.Config{Seed: *seed, Quick: *quick, Parallelism: *workers}
+	failed := 0
+	for _, id := range ids {
+		e, ok := experiment.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			failed++
+			continue
+		}
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		if *format == "markdown" {
+			fmt.Println(experiment.RenderMarkdown(rep))
+		} else {
+			fmt.Println(experiment.RenderText(rep))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

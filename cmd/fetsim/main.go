@@ -1,0 +1,153 @@
+// Command fetsim runs a single population simulation and prints the
+// convergence outcome, optionally with the full x_t trajectory.
+//
+// Usage:
+//
+//	fetsim -n 1024 [-protocol fet] [-init all-wrong] [-seed 1] [-trajectory]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"passivespread/internal/adversary"
+	"passivespread/internal/core"
+	"passivespread/internal/dynamics"
+	"passivespread/internal/sim"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1024, "population size (including sources)")
+		ell      = flag.Int("ell", 0, "per-half sample size ℓ (0 = ⌈3·log₂ n⌉)")
+		protocol = flag.String("protocol", "fet", "protocol: fet, simple, voter, 3maj, undecided")
+		initName = flag.String("init", "all-wrong", "initial config: all-wrong, uniform, half, fraction=<x>")
+		correct  = flag.Int("correct", 1, "the source's opinion (0 or 1)")
+		sources  = flag.Int("sources", 1, "number of agreeing sources")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		rounds   = flag.Int("rounds", 0, "round cap (0 = 400·log₂ n)")
+		engine   = flag.String("engine", "fast", "engine: fast or exact")
+		traj     = flag.Bool("trajectory", false, "print x_t per round")
+	)
+	flag.Parse()
+
+	if *correct != 0 && *correct != 1 {
+		fatalf("-correct must be 0 or 1")
+	}
+	correctBit := byte(*correct)
+
+	sampleEll := *ell
+	if sampleEll == 0 {
+		sampleEll = core.SampleSize(*n, core.DefaultC)
+	}
+
+	var proto sim.Protocol
+	switch *protocol {
+	case "fet":
+		proto = core.NewFET(sampleEll)
+	case "simple":
+		proto = core.NewSimpleTrend(sampleEll)
+	case "voter":
+		proto = dynamics.Voter{}
+	case "3maj":
+		proto = dynamics.ThreeMajority{}
+	case "undecided":
+		proto = dynamics.Undecided{}
+	default:
+		fatalf("unknown protocol %q", *protocol)
+	}
+
+	init, err := parseInit(*initName, correctBit)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	maxRounds := *rounds
+	if maxRounds == 0 {
+		maxRounds = 400 * log2ceil(*n)
+	}
+
+	engineKind := sim.EngineAgentFast
+	if *engine == "exact" {
+		engineKind = sim.EngineAgentExact
+	} else if *engine != "fast" {
+		fatalf("unknown engine %q", *engine)
+	}
+
+	res, err := sim.Run(sim.Config{
+		N:                *n,
+		Sources:          *sources,
+		Correct:          correctBit,
+		Protocol:         proto,
+		Init:             init,
+		Seed:             *seed,
+		MaxRounds:        maxRounds,
+		Engine:           engineKind,
+		CorruptStates:    true,
+		RecordTrajectory: *traj,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("protocol   %s\n", proto.Name())
+	fmt.Printf("population %d (%d source(s), correct opinion %d)\n", *n, *sources, correctBit)
+	fmt.Printf("init       %s\n", init.Name())
+	fmt.Printf("engine     %s, seed %d\n", engineKind, *seed)
+	if res.Converged {
+		fmt.Printf("converged  yes: t_con = %d (of %d executed rounds)\n", res.Round, res.Rounds)
+	} else {
+		fmt.Printf("converged  no within %d rounds (final x = %.4f)\n", res.Rounds, res.FinalX)
+	}
+	if *traj {
+		for t, x := range res.Trajectory {
+			fmt.Printf("x[%4d] = %.5f %s\n", t, x, bar(x, 50))
+		}
+	}
+	if !res.Converged {
+		os.Exit(1)
+	}
+}
+
+func parseInit(name string, correct byte) (sim.Initializer, error) {
+	switch {
+	case name == "all-wrong":
+		return adversary.AllWrong{Correct: correct}, nil
+	case name == "uniform":
+		return adversary.Uniform{}, nil
+	case name == "half":
+		return adversary.HalfSplit(), nil
+	case strings.HasPrefix(name, "fraction="):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(name, "fraction="), 64)
+		if err != nil || x < 0 || x > 1 {
+			return nil, fmt.Errorf("bad fraction in %q", name)
+		}
+		return adversary.Fraction{X: x}, nil
+	default:
+		return nil, fmt.Errorf("unknown init %q", name)
+	}
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+func bar(x float64, width int) string {
+	filled := int(x * float64(width))
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,66 @@
+package passivespread_test
+
+import (
+	"fmt"
+
+	"passivespread"
+)
+
+// The one-call entry point: FET from the worst-case start.
+func ExampleDisseminate() {
+	res, err := passivespread.Disseminate(passivespread.Options{
+		N:    512,
+		Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("all correct:", res.FinalX == 1)
+	// Output:
+	// converged: true
+	// all correct: true
+}
+
+// Full control via the simulation Config: protocol, initializer, engine.
+func ExampleRun() {
+	res, err := passivespread.Run(passivespread.Config{
+		N:         256,
+		Protocol:  passivespread.NewFET(passivespread.SampleSize(256)),
+		Init:      passivespread.FractionInit(0.5),
+		Correct:   passivespread.OpinionOne,
+		Seed:      7,
+		MaxRounds: 10000,
+		Engine:    passivespread.EngineAgentExact,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("converged:", res.Converged)
+	// Output:
+	// converged: true
+}
+
+// The aggregate Markov chain scales to populations no agent-level
+// simulator can touch.
+func ExampleNewChain() {
+	n := 10_000_000
+	c := passivespread.NewChain(n, passivespread.SampleSize(n), 3)
+	_, ok := c.HittingTime(c.StateAt(0, 0), 100000)
+	fmt.Println("absorbed:", ok)
+	// Output:
+	// absorbed: true
+}
+
+// Each registered experiment reproduces one artifact of the paper.
+func ExampleExperiments() {
+	for _, e := range passivespread.Experiments()[:3] {
+		fmt.Printf("%s: %s\n", e.ID, e.PaperRef)
+	}
+	// Output:
+	// E01: Theorem 1
+	// E02: Figure 1a
+	// E03: Figure 1b
+}

@@ -1,0 +1,100 @@
+// Dynamics: side-by-side comparison of FET against classical consensus
+// dynamics (Voter, 3-Majority, Undecided-State) and the Section 1.4
+// clocked baseline, on the source-driven self-stabilizing
+// bit-dissemination task.
+//
+// The scenario is adversarial: the population starts with a 9:1 majority
+// on the WRONG opinion. Consensus dynamics lock onto the initial majority
+// and never recover within a polylog horizon; the clocked baseline works
+// but needs clocks (non-passive messages once self-stabilization is
+// required); FET solves the task with passive 1-bit observations alone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"passivespread"
+	"passivespread/internal/adversary"
+	"passivespread/internal/clocked"
+	"passivespread/internal/core"
+	"passivespread/internal/dynamics"
+	"passivespread/internal/sim"
+)
+
+const n = 1024
+
+func main() {
+	horizon := 40 * int(math.Pow(math.Log2(n), 2))
+	ell := passivespread.SampleSize(n)
+	fmt.Printf("task: %d agents, 1 source holding 1, start = 90%% on opinion 0\n", n)
+	fmt.Printf("horizon: %d rounds (polylog scale)\n\n", horizon)
+	fmt.Printf("%-28s %-10s %s\n", "protocol", "passive?", "outcome")
+
+	protocols := []struct {
+		proto   sim.Protocol
+		passive string
+	}{
+		{dynamics.Voter{}, "yes"},
+		{dynamics.ThreeMajority{}, "yes"},
+		{dynamics.Undecided{}, "yes"},
+		{core.NewFET(ell), "yes"},
+	}
+	for i, p := range protocols {
+		res, err := sim.Run(sim.Config{
+			N:             n,
+			Protocol:      p.proto,
+			Init:          adversary.Fraction{X: 0.1},
+			Correct:       sim.OpinionOne,
+			Seed:          uint64(10 + i),
+			MaxRounds:     horizon,
+			CorruptStates: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %-10s %s\n", p.proto.Name(), p.passive, outcome(res.Converged, res.Round, res.FinalX))
+	}
+
+	// The clocked baseline, in both clock models.
+	for _, m := range []struct {
+		mode   clocked.Mode
+		desync bool
+		label  string
+	}{
+		{clocked.ModeSharedClock, false, "Clocked phases (shared clock)"},
+		{clocked.ModeLocalClocks, true, "Clocked phases (desynced)"},
+	} {
+		res, err := clocked.Run(clocked.Config{
+			N:            n,
+			Correct:      sim.OpinionOne,
+			Mode:         m.mode,
+			DesyncClocks: m.desync,
+			Init:         adversary.Fraction{X: 0.1},
+			Seed:         20,
+			MaxRounds:    horizon,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		passive := "yes*"
+		if m.mode == clocked.ModeLocalClocks {
+			passive = "NO"
+		}
+		fmt.Printf("%-28s %-10s %s\n", m.label, passive, outcome(res.Converged, res.Round, res.FinalX))
+	}
+
+	fmt.Println("\n*  shared clocks presume global time, which self-stabilization forbids;")
+	fmt.Println("   restoring clocks via messages (desynced row) breaks passive communication.")
+	fmt.Println("   majority-style dynamics lock onto the wrong initial majority; the voter")
+	fmt.Println("   model drifts to the source's zealot opinion only after Θ(n) rounds.")
+	fmt.Println("   FET alone is passive, self-stabilizing, and polylog-fast.")
+}
+
+func outcome(converged bool, round int, finalX float64) string {
+	if converged {
+		return fmt.Sprintf("reached source opinion at round %d", round)
+	}
+	return fmt.Sprintf("stuck at x = %.3f (never adopted the source bit)", finalX)
+}

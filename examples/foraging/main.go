@@ -1,0 +1,69 @@
+// Foraging: the paper's motivating scenario (Section 1.1). A group of
+// animals forages an area whose eastern or western side is preferable.
+// A few knowledgeable animals simply stay on the better side; everyone
+// else can only scan and estimate how many animals are on each side, and
+// move. Nobody can tell who is knowledgeable.
+//
+// The example runs two seasons. In season 1 the east side is better; in
+// season 2 the environment changes and the west side becomes better —
+// the group, whose state is now "arbitrary" relative to the new truth,
+// must re-stabilize. This is exactly the self-stabilizing
+// bit-dissemination problem under passive communication, solved by FET.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"passivespread"
+)
+
+const (
+	groupSize     = 2048
+	knowledgeable = 4
+)
+
+func season(name string, eastBetter bool, startEastFraction float64, seed uint64) {
+	correct := "west"
+	if eastBetter {
+		correct = "east"
+	}
+	fmt.Printf("— %s: the %s side is better (only %d of %d animals know) —\n",
+		name, correct, knowledgeable, groupSize)
+
+	res, err := passivespread.Disseminate(passivespread.Options{
+		N:       groupSize,
+		Sources: knowledgeable,
+		// Opinion 1 = "forage east". The knowledgeable animals hold the
+		// correct side; CorrectZero flips the truth to "west".
+		CorrectZero:      !eastBetter,
+		Init:             passivespread.FractionInit(startEastFraction),
+		Seed:             seed,
+		RecordTrajectory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for t, x := range res.Trajectory {
+		if t%2 == 0 || t == len(res.Trajectory)-1 {
+			east := int(x * groupSize)
+			fmt.Printf("  day %3d: %4d east / %4d west\n", t, east, groupSize-east)
+		}
+	}
+	if res.Converged {
+		fmt.Printf("  the whole group settled on the %s side after %d days\n\n", correct, res.Round)
+	} else {
+		fmt.Printf("  the group had not settled after %d days (x = %.3f)\n\n", res.Rounds, res.FinalX)
+	}
+}
+
+func main() {
+	// Season 1: east is better; the group starts scattered arbitrarily.
+	season("season 1", true, 0.31, 7)
+
+	// Season 2: the environment flipped — west is now better. The group
+	// is in the worst possible starting state: everyone on the east side,
+	// convinced by last season. Self-stabilization handles it.
+	season("season 2 (environment changed)", false, 0.999, 8)
+}

@@ -1,0 +1,35 @@
+// Quickstart: disseminate one bit from a single source to 1023 other
+// agents that start on the wrong opinion with corrupted memories, using
+// only passive observation of opinions (FET, Protocol 1 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"passivespread"
+)
+
+func main() {
+	res, err := passivespread.Disseminate(passivespread.Options{
+		N:                1024,
+		Seed:             1,
+		RecordTrajectory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("population: 1024 agents, 1 source, correct opinion: 1\n")
+	fmt.Printf("samples per agent per round: 2ℓ = %d\n", 2*passivespread.SampleSize(1024))
+	fmt.Printf("start: every non-source on the wrong opinion, memories corrupted\n\n")
+
+	for t, x := range res.Trajectory {
+		fmt.Printf("round %3d: x = %.4f\n", t, x)
+	}
+	if res.Converged {
+		fmt.Printf("\nconverged: t_con = %d rounds (paper bound: O(log^{5/2} n))\n", res.Round)
+	} else {
+		fmt.Printf("\ndid not converge within %d rounds\n", res.Rounds)
+	}
+}

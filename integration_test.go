@@ -1,0 +1,121 @@
+package passivespread_test
+
+import (
+	"math"
+	"testing"
+
+	"passivespread"
+)
+
+// TestFaultInjectionRecovery drives repeated adversarial fault bursts:
+// after each convergence, the adversary rewrites an arbitrary fraction of
+// opinions and all internal memories, and the population must re-converge.
+// Self-stabilization means each burst is just a fresh arbitrary start.
+func TestFaultInjectionRecovery(t *testing.T) {
+	const n = 1024
+	bursts := []float64{0.9, 0.5, 0.999, 0.25, 1.0}
+	for i, wrong := range bursts {
+		res, err := passivespread.Disseminate(passivespread.Options{
+			N:    n,
+			Seed: uint64(1000 + i),
+			Init: passivespread.FractionInit(1 - wrong),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("burst %d (%.0f%% corrupted): no recovery (x = %v)",
+				i, wrong*100, res.FinalX)
+		}
+	}
+}
+
+// TestConvergencePolylogShape is the headline integration check: the
+// median convergence time across a geometric n-sweep must fit a polylog
+// with a small exponent (Theorem 1's bound is 5/2), far from any
+// polynomial growth.
+func TestConvergencePolylogShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size sweep")
+	}
+	ns := []int{1 << 8, 1 << 11, 1 << 14, 1 << 17, 1 << 20}
+	const trials = 9
+	medians := make([]float64, len(ns))
+	for i, n := range ns {
+		times := make([]float64, trials)
+		ell := passivespread.SampleSize(n)
+		for trial := range times {
+			c := passivespread.NewChain(n, ell, uint64(n*31+trial))
+			rounds, ok := c.HittingTime(c.StateAt(0, 0), 100000)
+			if !ok {
+				t.Fatalf("n=%d trial=%d: no absorption", n, trial)
+			}
+			times[trial] = float64(rounds)
+		}
+		sorted := append([]float64(nil), times...)
+		for a := range sorted {
+			for b := a + 1; b < len(sorted); b++ {
+				if sorted[b] < sorted[a] {
+					sorted[a], sorted[b] = sorted[b], sorted[a]
+				}
+			}
+		}
+		medians[i] = sorted[trials/2]
+	}
+	// If t_con were polynomial in n, medians would grow by ~8× per 8× n;
+	// polylog growth over this range is a factor well under 3 end-to-end.
+	growth := medians[len(medians)-1] / medians[0]
+	if growth > 5 {
+		t.Fatalf("median grew %vx from n=%d to n=%d — not polylog: %v",
+			growth, ns[0], ns[len(ns)-1], medians)
+	}
+	// And convergence at the largest n must sit far below even log³ n.
+	if bound := math.Pow(math.Log(float64(ns[len(ns)-1])), 3); medians[len(medians)-1] > bound {
+		t.Fatalf("median %v exceeds log³ n = %v", medians[len(medians)-1], bound)
+	}
+}
+
+// TestSymmetricZeroSideEndToEnd exercises the whole stack with the
+// correct opinion on the 0 side.
+func TestSymmetricZeroSideEndToEnd(t *testing.T) {
+	res, err := passivespread.Disseminate(passivespread.Options{
+		N:           2048,
+		Seed:        5,
+		CorrectZero: true,
+		Init:        passivespread.FractionInit(0.97), // nearly everyone wrong
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.FinalX != 0 {
+		t.Fatalf("zero-side stack run failed: %+v", res)
+	}
+}
+
+// TestTrajectoryMonotoneTail checks a qualitative property of converged
+// runs: the recorded trajectory ends in at least two all-correct rounds
+// (the absorption witness used throughout the analysis).
+func TestTrajectoryMonotoneTail(t *testing.T) {
+	res, err := passivespread.Disseminate(passivespread.Options{
+		N:                512,
+		Seed:             9,
+		RecordTrajectory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	m := len(res.Trajectory)
+	if m < 2 || res.Trajectory[m-1] != 1 || res.Trajectory[m-2] != 1 {
+		t.Fatalf("trajectory tail not an absorption witness: %v", res.Trajectory[max(0, m-3):])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+// Package adversary provides the adversarial initial configurations of the
+// self-stabilizing setting: the adversary chooses every non-source agent's
+// starting opinion and (via sim.Config.CorruptStates / StateInit) its
+// internal memory. Convergence must hold from all of them.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+)
+
+// AllWrong starts every non-source agent on the opinion opposite to
+// correct — the classic hard case for rumor spreading (agents may "think"
+// they are already informed).
+type AllWrong struct {
+	// Correct is the source's opinion; non-sources start at 1−Correct.
+	Correct byte
+}
+
+var _ sim.Initializer = AllWrong{}
+
+// Name implements sim.Initializer.
+func (AllWrong) Name() string { return "all-wrong" }
+
+// Assign implements sim.Initializer.
+func (a AllWrong) Assign(opinions []byte, isSource []bool, _ *rng.Source) {
+	wrong := 1 - a.Correct
+	for i := range opinions {
+		if !isSource[i] {
+			opinions[i] = wrong
+		}
+	}
+}
+
+// AllCorrect starts every agent on the correct opinion (the easy case;
+// useful for absorption tests).
+type AllCorrect struct {
+	Correct byte
+}
+
+var _ sim.Initializer = AllCorrect{}
+
+// Name implements sim.Initializer.
+func (AllCorrect) Name() string { return "all-correct" }
+
+// Assign implements sim.Initializer.
+func (a AllCorrect) Assign(opinions []byte, isSource []bool, _ *rng.Source) {
+	for i := range opinions {
+		if !isSource[i] {
+			opinions[i] = a.Correct
+		}
+	}
+}
+
+// Uniform starts each non-source agent on an independent fair coin.
+type Uniform struct{}
+
+var _ sim.Initializer = Uniform{}
+
+// Name implements sim.Initializer.
+func (Uniform) Name() string { return "uniform" }
+
+// Assign implements sim.Initializer.
+func (Uniform) Assign(opinions []byte, isSource []bool, src *rng.Source) {
+	for i := range opinions {
+		if !isSource[i] {
+			opinions[i] = src.Bit()
+		}
+	}
+}
+
+// Fraction starts with an exact fraction X of 1-opinions among the whole
+// population (the engine pre-sets sources; Fraction tops up non-sources so
+// the total count of 1s is round(X·n), shuffled uniformly).
+type Fraction struct {
+	// X is the target fraction of 1-opinions over the whole population,
+	// in [0, 1].
+	X float64
+}
+
+var _ sim.Initializer = Fraction{}
+
+// Name implements sim.Initializer.
+func (f Fraction) Name() string { return fmt.Sprintf("fraction(%.4f)", f.X) }
+
+// Assign implements sim.Initializer.
+func (f Fraction) Assign(opinions []byte, isSource []bool, src *rng.Source) {
+	if f.X < 0 || f.X > 1 || math.IsNaN(f.X) {
+		panic(fmt.Sprintf("adversary: Fraction with X = %v", f.X))
+	}
+	n := len(opinions)
+	target := int(math.Round(f.X * float64(n)))
+
+	// Count the 1s already fixed by the sources and collect the free slots.
+	fixedOnes := 0
+	free := make([]int, 0, n)
+	for i := range opinions {
+		if isSource[i] {
+			fixedOnes += int(opinions[i])
+		} else {
+			free = append(free, i)
+		}
+	}
+	need := target - fixedOnes
+	if need < 0 {
+		need = 0
+	}
+	if need > len(free) {
+		need = len(free)
+	}
+	src.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for k, idx := range free {
+		if k < need {
+			opinions[idx] = sim.OpinionOne
+		} else {
+			opinions[idx] = sim.OpinionZero
+		}
+	}
+}
+
+// HalfSplit is the maximally undecided start: an exact 50/50 split.
+func HalfSplit() Fraction { return Fraction{X: 0.5} }
+
+// SeedTrendState returns a sim.Config.StateInit hook that seeds every
+// trend-following agent's stored count with an independent
+// Binomial(ell, x0) draw. Combined with Fraction{X: x1} opinions, this
+// places the FET Markov chain exactly at the grid point
+// (x_t, x_{t+1}) = (x0, x1): conditioned on the previous round having had
+// a 1-fraction of x0, the stored counts are i.i.d. Binomial(ℓ, x0).
+func SeedTrendState(ell int, x0 float64) func(i int, agent sim.Agent, src *rng.Source) {
+	return func(_ int, agent sim.Agent, src *rng.Source) {
+		if seeder, ok := agent.(sim.TrendSeeder); ok {
+			seeder.SeedPrevCount(src.Binomial(ell, x0))
+		}
+	}
+}
+
+// GridStart bundles the initial opinions and internal-state seeding that
+// place the FET chain at (x_t, x_{t+1}) = (X0, X1).
+type GridStart struct {
+	// X0 is the emulated previous-round fraction x_t.
+	X0 float64
+	// X1 is the starting fraction x_{t+1} (the actual initial opinions).
+	X1 float64
+	// Ell is the protocol's per-half sample size.
+	Ell int
+}
+
+// Init returns the opinion initializer part (fraction X1).
+func (g GridStart) Init() sim.Initializer { return Fraction{X: g.X1} }
+
+// StateInit returns the internal-state seeding part (counts ~ B(ℓ, X0)).
+func (g GridStart) StateInit() func(int, sim.Agent, *rng.Source) {
+	return SeedTrendState(g.Ell, g.X0)
+}

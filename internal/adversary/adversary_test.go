@@ -1,0 +1,180 @@
+package adversary
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+)
+
+func setup(n, sources int, correct byte) (opinions []byte, isSource []bool) {
+	opinions = make([]byte, n)
+	isSource = make([]bool, n)
+	for i := 0; i < sources; i++ {
+		isSource[i] = true
+		opinions[i] = correct
+	}
+	return opinions, isSource
+}
+
+func countOnes(op []byte) int {
+	c := 0
+	for _, v := range op {
+		c += int(v)
+	}
+	return c
+}
+
+func TestAllWrong(t *testing.T) {
+	op, isSrc := setup(100, 3, sim.OpinionOne)
+	AllWrong{Correct: sim.OpinionOne}.Assign(op, isSrc, rng.New(1))
+	if got := countOnes(op); got != 3 {
+		t.Fatalf("ones = %d, want 3 (sources only)", got)
+	}
+	op, isSrc = setup(100, 3, sim.OpinionZero)
+	AllWrong{Correct: sim.OpinionZero}.Assign(op, isSrc, rng.New(1))
+	if got := countOnes(op); got != 97 {
+		t.Fatalf("ones = %d, want 97", got)
+	}
+}
+
+func TestAllCorrect(t *testing.T) {
+	op, isSrc := setup(50, 1, sim.OpinionOne)
+	AllCorrect{Correct: sim.OpinionOne}.Assign(op, isSrc, rng.New(1))
+	if got := countOnes(op); got != 50 {
+		t.Fatalf("ones = %d, want 50", got)
+	}
+}
+
+func TestUniformBalanced(t *testing.T) {
+	op, isSrc := setup(20000, 1, sim.OpinionOne)
+	Uniform{}.Assign(op, isSrc, rng.New(2))
+	frac := float64(countOnes(op)) / 20000
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("uniform ones fraction = %v", frac)
+	}
+}
+
+func TestFractionExactCount(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+		op, isSrc := setup(1000, 1, sim.OpinionOne)
+		Fraction{X: x}.Assign(op, isSrc, rng.New(3))
+		want := int(math.Round(x * 1000))
+		if want < 1 {
+			want = 1 // the source always holds 1
+		}
+		if got := countOnes(op); got != want {
+			t.Fatalf("X=%v: ones = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestFractionDoesNotTouchSources(t *testing.T) {
+	op, isSrc := setup(100, 5, sim.OpinionOne)
+	Fraction{X: 0}.Assign(op, isSrc, rng.New(4))
+	for i := 0; i < 5; i++ {
+		if op[i] != sim.OpinionOne {
+			t.Fatalf("source %d overwritten", i)
+		}
+	}
+	if got := countOnes(op); got != 5 {
+		t.Fatalf("ones = %d, want 5", got)
+	}
+}
+
+func TestFractionShuffles(t *testing.T) {
+	// The 1s must not all sit at the front of the non-source range.
+	op, isSrc := setup(1000, 1, sim.OpinionOne)
+	Fraction{X: 0.5}.Assign(op, isSrc, rng.New(5))
+	firstHalfOnes := countOnes(op[:500])
+	if firstHalfOnes < 150 || firstHalfOnes > 350 {
+		t.Fatalf("fraction layout unshuffled: %d ones in first half", firstHalfOnes)
+	}
+}
+
+func TestFractionPanicsOnBadX(t *testing.T) {
+	for _, x := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fraction{X: %v} did not panic", x)
+				}
+			}()
+			op, isSrc := setup(10, 1, sim.OpinionOne)
+			Fraction{X: x}.Assign(op, isSrc, rng.New(1))
+		}()
+	}
+}
+
+func TestHalfSplit(t *testing.T) {
+	if got := HalfSplit().X; got != 0.5 {
+		t.Fatalf("HalfSplit X = %v", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (AllWrong{}).Name() != "all-wrong" {
+		t.Fatal((AllWrong{}).Name())
+	}
+	if (AllCorrect{}).Name() != "all-correct" {
+		t.Fatal((AllCorrect{}).Name())
+	}
+	if (Uniform{}).Name() != "uniform" {
+		t.Fatal((Uniform{}).Name())
+	}
+	if !strings.HasPrefix((Fraction{X: 0.25}).Name(), "fraction(") {
+		t.Fatal((Fraction{X: 0.25}).Name())
+	}
+}
+
+// seedRecorder records the count passed via SeedPrevCount.
+type seedRecorder struct{ got int }
+
+func (s *seedRecorder) Step(cur byte, _ sim.Observation) byte { return cur }
+func (s *seedRecorder) SeedPrevCount(c int)                   { s.got = c }
+
+func TestSeedTrendStateBinomialLaw(t *testing.T) {
+	const (
+		ell    = 20
+		x0     = 0.3
+		trials = 50000
+	)
+	hook := SeedTrendState(ell, x0)
+	src := rng.New(6)
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		rec := &seedRecorder{}
+		hook(i, rec, src)
+		if rec.got < 0 || rec.got > ell {
+			t.Fatalf("seeded count %d out of range", rec.got)
+		}
+		sum += float64(rec.got)
+	}
+	mean := sum / trials
+	if want := float64(ell) * x0; math.Abs(mean-want) > 0.1 {
+		t.Fatalf("seeded mean = %v, want ≈%v", mean, want)
+	}
+}
+
+// plainAgent does not implement TrendSeeder.
+type plainAgent struct{}
+
+func (plainAgent) Step(cur byte, _ sim.Observation) byte { return cur }
+
+func TestSeedTrendStateIgnoresNonSeeders(t *testing.T) {
+	// Must not panic on agents without SeedPrevCount.
+	SeedTrendState(8, 0.5)(0, plainAgent{}, rng.New(7))
+}
+
+func TestGridStartParts(t *testing.T) {
+	gs := GridStart{X0: 0.2, X1: 0.6, Ell: 16}
+	init := gs.Init()
+	if f, ok := init.(Fraction); !ok || f.X != 0.6 {
+		t.Fatalf("GridStart.Init = %#v", init)
+	}
+	if gs.StateInit() == nil {
+		t.Fatal("GridStart.StateInit returned nil")
+	}
+}

@@ -1,0 +1,286 @@
+// Package clocked implements the Section 1.4 baseline for the
+// self-stabilizing bit-dissemination problem: the phase protocol that
+// solves the problem in O(log n) rounds when agents share a notion of
+// global time.
+//
+// Time is divided into phases of length T = 4·⌈log₂ n⌉, each split into
+// two subphases of length T/2. In the first subphase a non-source agent
+// that observes an opinion 0 copies it (ignoring 1s); in the second
+// subphase it does the opposite. Whatever the source's opinion is, by the
+// end of the corresponding subphase of the first complete phase the whole
+// population holds it, and the configuration is absorbing.
+//
+// The paper's point is that *without* shared clocks this baseline needs a
+// self-stabilizing clock-synchronization protocol, and known constructions
+// (Boczkowski et al. 2019; Bastide et al. 2021) spend message bits beyond
+// the opinion — breaking passive communication. To exhibit that trade-off
+// this package also provides ModeLocalClocks, where each agent carries its
+// own clock, initialized adversarially, and synchronizes by copying the
+// plurality clock among ℓ_c sampled agents before incrementing. Messages
+// in that mode carry (opinion, clock) — explicitly ⌈log₂ T⌉ + 1 bits, not
+// passive — which is the honest cost of the prior-work approach that FET
+// eliminates. (The 1-bit recursive construction of Bastide et al. is out
+// of scope; the plurality rule is a simple stand-in with the same
+// message-content character. The substitution is recorded in DESIGN.md.)
+package clocked
+
+import (
+	"fmt"
+	"math"
+
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+)
+
+// Mode selects the clock model.
+type Mode int
+
+// Clock modes.
+const (
+	// ModeSharedClock gives every agent the true global round counter
+	// (plus a common adversarial offset, which is harmless by symmetry).
+	ModeSharedClock Mode = iota
+	// ModeLocalClocks gives every agent its own clock, adversarially
+	// initialized, synchronized by plurality copying — messages carry the
+	// clock and are therefore not passive.
+	ModeLocalClocks
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeSharedClock:
+		return "shared-clock"
+	case ModeLocalClocks:
+		return "local-clocks"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes one run of the clocked baseline.
+type Config struct {
+	// N is the population size including sources (≥ 2).
+	N int
+	// Sources is the number of source agents (default 1).
+	Sources int
+	// Correct is the sources' opinion.
+	Correct byte
+	// Mode selects shared or local clocks.
+	Mode Mode
+	// PhaseLen is the phase length T (default 4·⌈log₂ N⌉, forced even).
+	PhaseLen int
+	// ClockSamples is ℓ_c, the number of agents sampled for clock
+	// synchronization in ModeLocalClocks (default ⌈3·log₂ N⌉).
+	ClockSamples int
+	// DesyncClocks initializes local clocks adversarially (uniformly at
+	// random) instead of synchronized; only meaningful in ModeLocalClocks.
+	DesyncClocks bool
+	// Init chooses starting opinions (required).
+	Init sim.Initializer
+	// Seed is the root randomness seed.
+	Seed uint64
+	// MaxRounds caps the run (required).
+	MaxRounds int
+	// RecordTrajectory stores x_t per round.
+	RecordTrajectory bool
+}
+
+// Result reports a run of the clocked baseline.
+type Result struct {
+	// Converged reports whether the population reached the all-correct
+	// configuration (absorbing for this protocol: agents only copy
+	// observed opinions, so a unanimous configuration never changes).
+	Converged bool
+	// Round is the first all-correct round, or −1.
+	Round int
+	// Rounds is the number of executed rounds.
+	Rounds int
+	// FinalX is the final fraction of 1-opinions.
+	FinalX float64
+	// Trajectory holds x_t per executed round when requested.
+	Trajectory []float64
+}
+
+// MessageBits returns the number of bits an agent reveals per observation
+// under the mode: 1 (just the opinion — passive) for shared clocks, or
+// 1 + ⌈log₂ T⌉ for local clocks.
+func MessageBits(mode Mode, phaseLen int) int {
+	if mode == ModeSharedClock {
+		return 1
+	}
+	return 1 + int(math.Ceil(math.Log2(float64(phaseLen))))
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.N < 2 {
+		return cfg, fmt.Errorf("clocked: N = %d, want ≥ 2", cfg.N)
+	}
+	if cfg.Sources == 0 {
+		cfg.Sources = 1
+	}
+	if cfg.Sources < 1 || cfg.Sources >= cfg.N {
+		return cfg, fmt.Errorf("clocked: Sources = %d out of [1, N)", cfg.Sources)
+	}
+	if cfg.Correct > 1 {
+		return cfg, fmt.Errorf("clocked: Correct = %d", cfg.Correct)
+	}
+	if cfg.Init == nil {
+		return cfg, fmt.Errorf("clocked: Init is required")
+	}
+	if cfg.MaxRounds <= 0 {
+		return cfg, fmt.Errorf("clocked: MaxRounds = %d", cfg.MaxRounds)
+	}
+	if cfg.PhaseLen == 0 {
+		cfg.PhaseLen = 4 * int(math.Ceil(math.Log2(float64(cfg.N))))
+	}
+	if cfg.PhaseLen%2 != 0 {
+		cfg.PhaseLen++
+	}
+	if cfg.PhaseLen < 2 {
+		return cfg, fmt.Errorf("clocked: PhaseLen = %d, want ≥ 2", cfg.PhaseLen)
+	}
+	if cfg.ClockSamples == 0 {
+		cfg.ClockSamples = int(math.Ceil(3 * math.Log2(float64(cfg.N))))
+	}
+	if cfg.ClockSamples < 1 {
+		return cfg, fmt.Errorf("clocked: ClockSamples = %d", cfg.ClockSamples)
+	}
+	return cfg, nil
+}
+
+// Run executes the clocked baseline.
+func Run(cfg Config) (Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	n := c.N
+	T := c.PhaseLen
+	half := T / 2
+
+	opinions := make([]byte, n)
+	nextOpinions := make([]byte, n)
+	clocks := make([]int, n)
+	nextClocks := make([]int, n)
+	isSource := make([]bool, n)
+	for i := 0; i < c.Sources; i++ {
+		isSource[i] = true
+		opinions[i] = c.Correct
+	}
+
+	initSrc := rng.NewFrom(c.Seed, 0)
+	c.Init.Assign(opinions, isSource, initSrc)
+	for i := 0; i < c.Sources; i++ {
+		if opinions[i] != c.Correct {
+			return Result{}, fmt.Errorf("clocked: initializer %q overwrote a source opinion", c.Init.Name())
+		}
+	}
+	if c.Mode == ModeLocalClocks && c.DesyncClocks {
+		for i := range clocks {
+			clocks[i] = initSrc.Intn(T)
+		}
+	}
+
+	srcs := make([]*rng.Source, n)
+	for i := range srcs {
+		srcs[i] = rng.NewFrom(c.Seed, uint64(i)+1)
+	}
+
+	countOnes := func(ops []byte) int {
+		ones := 0
+		for _, o := range ops {
+			ones += int(o)
+		}
+		return ones
+	}
+	allCorrect := func(ops []byte) bool {
+		for _, o := range ops {
+			if o != c.Correct {
+				return false
+			}
+		}
+		return true
+	}
+
+	res := Result{Round: -1}
+	if c.RecordTrajectory {
+		res.Trajectory = make([]float64, 0, c.MaxRounds+1)
+		res.Trajectory = append(res.Trajectory, float64(countOnes(opinions))/float64(n))
+	}
+	if allCorrect(opinions) {
+		res.Converged = true
+		res.Round = 0
+	}
+
+	clockVotes := make([]int, T)
+	round := 0
+	for ; round < c.MaxRounds && !res.Converged; round++ {
+		for i := 0; i < n; i++ {
+			src := srcs[i]
+
+			// Determine this agent's clock value for the round.
+			var clock int
+			switch c.Mode {
+			case ModeSharedClock:
+				clock = round % T
+				nextClocks[i] = 0 // unused
+			case ModeLocalClocks:
+				// Plurality of ℓ_c sampled clocks (ties → smallest), then
+				// advance by one. Sources synchronize too: only their
+				// opinion is pinned.
+				for j := range clockVotes {
+					clockVotes[j] = 0
+				}
+				for s := 0; s < c.ClockSamples; s++ {
+					clockVotes[clocks[src.Intn(n)]]++
+				}
+				best := 0
+				for j := 1; j < T; j++ {
+					if clockVotes[j] > clockVotes[best] {
+						best = j
+					}
+				}
+				clock = clocks[i]
+				nextClocks[i] = (best + 1) % T
+			}
+
+			if isSource[i] {
+				nextOpinions[i] = c.Correct
+				continue
+			}
+
+			// One passive opinion observation per round.
+			seen := opinions[src.Intn(n)]
+			out := opinions[i]
+			if clock < half {
+				// First subphase: copy 0s, ignore 1s.
+				if seen == sim.OpinionZero {
+					out = sim.OpinionZero
+				}
+			} else {
+				// Second subphase: copy 1s, ignore 0s.
+				if seen == sim.OpinionOne {
+					out = sim.OpinionOne
+				}
+			}
+			nextOpinions[i] = out
+		}
+		opinions, nextOpinions = nextOpinions, opinions
+		clocks, nextClocks = nextClocks, clocks
+
+		x := float64(countOnes(opinions)) / float64(n)
+		if c.RecordTrajectory {
+			res.Trajectory = append(res.Trajectory, x)
+		}
+		if allCorrect(opinions) {
+			res.Converged = true
+			res.Round = round + 1
+		}
+	}
+
+	res.Rounds = round
+	res.FinalX = float64(countOnes(opinions)) / float64(n)
+	return res, nil
+}

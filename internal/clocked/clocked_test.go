@@ -1,0 +1,208 @@
+package clocked
+
+import (
+	"math"
+	"testing"
+
+	"passivespread/internal/adversary"
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:         256,
+		Correct:   sim.OpinionOne,
+		Init:      adversary.AllWrong{Correct: sim.OpinionOne},
+		Seed:      1,
+		MaxRounds: 2000,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"tiny N", func(c *Config) { c.N = 1 }},
+		{"no init", func(c *Config) { c.Init = nil }},
+		{"no rounds", func(c *Config) { c.MaxRounds = 0 }},
+		{"bad correct", func(c *Config) { c.Correct = 3 }},
+		{"bad sources", func(c *Config) { c.Sources = 500 }},
+		{"bad clock samples", func(c *Config) { c.ClockSamples = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig()
+			tc.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Fatal("expected config error")
+			}
+		})
+	}
+}
+
+func TestSharedClockMeetsLogBound(t *testing.T) {
+	// §1.4: with shared clocks, convergence within the first complete
+	// phase, i.e. ≤ 2T = 8·log₂ n rounds from round 0 (we start at clock
+	// 0, so one phase of T = 4·log₂ n suffices).
+	for _, n := range []int{64, 256, 1024} {
+		cfg := baseConfig()
+		cfg.N = n
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: shared-clock baseline did not converge", n)
+		}
+		bound := 4 * int(math.Ceil(math.Log2(float64(n))))
+		if res.Round > bound {
+			t.Fatalf("n=%d: converged at round %d > 4·log₂ n = %d", n, res.Round, bound)
+		}
+	}
+}
+
+func TestSharedClockCorrectZero(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Correct = sim.OpinionZero
+	cfg.Init = adversary.AllWrong{Correct: sim.OpinionZero}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.FinalX != 0 {
+		t.Fatalf("correct-0 run: %+v", res)
+	}
+	// Opinion 0 is adopted in the *first* subphase, so convergence should
+	// land within the first half phase.
+	if res.Round > 2*int(math.Ceil(math.Log2(256))) {
+		t.Fatalf("converged at %d, expected within the first subphase", res.Round)
+	}
+}
+
+func TestLocalClocksSyncedStart(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Mode = ModeLocalClocks
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("local clocks (synced start) did not converge: %+v", res)
+	}
+}
+
+func TestLocalClocksAdversarialDesync(t *testing.T) {
+	// With adversarial clock offsets the plurality rule re-synchronizes
+	// and the protocol still converges — at the price of non-passive
+	// (opinion, clock) messages.
+	cfg := baseConfig()
+	cfg.Mode = ModeLocalClocks
+	cfg.DesyncClocks = true
+	cfg.MaxRounds = 5000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("local clocks (desynced) did not converge: final x=%v", res.FinalX)
+	}
+}
+
+func TestAllCorrectIsAbsorbing(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Init = adversary.AllCorrect{Correct: sim.OpinionOne}
+	cfg.RecordTrajectory = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Round != 0 {
+		t.Fatalf("expected immediate convergence: %+v", res)
+	}
+}
+
+func TestTrajectoryRecorded(t *testing.T) {
+	cfg := baseConfig()
+	cfg.RecordTrajectory = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) != res.Rounds+1 {
+		t.Fatalf("trajectory %d entries for %d rounds", len(res.Trajectory), res.Rounds)
+	}
+	for _, x := range res.Trajectory {
+		if x < 0 || x > 1 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Mode = ModeLocalClocks
+	cfg.DesyncClocks = true
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Round != b.Round || a.Rounds != b.Rounds {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestMessageBits(t *testing.T) {
+	if got := MessageBits(ModeSharedClock, 40); got != 1 {
+		t.Fatalf("shared-clock bits = %d, want 1 (passive)", got)
+	}
+	if got := MessageBits(ModeLocalClocks, 40); got != 7 { // 1 + ⌈log₂ 40⌉ = 7
+		t.Fatalf("local-clock bits = %d, want 7", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeSharedClock.String() != "shared-clock" ||
+		ModeLocalClocks.String() != "local-clocks" ||
+		Mode(9).String() != "unknown" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestPhaseLenForcedEven(t *testing.T) {
+	// An odd phase length is rounded up to even; 33 → 34 ≈ the default
+	// 4·log₂ 256 = 32, so the run must still converge within a phase or
+	// two. (A deliberately tiny phase would not: each first-subphase wipe
+	// undoes the second-subphase growth.)
+	cfg := baseConfig()
+	cfg.PhaseLen = 33
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("odd phase length broke the run: %+v", res)
+	}
+}
+
+func TestSourceOverwriteRejected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Init = overwriteInit{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for source overwrite")
+	}
+}
+
+type overwriteInit struct{}
+
+func (overwriteInit) Name() string { return "overwrite" }
+func (overwriteInit) Assign(op []byte, _ []bool, _ *rng.Source) {
+	for i := range op {
+		op[i] = sim.OpinionZero
+	}
+}

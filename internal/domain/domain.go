@@ -1,0 +1,362 @@
+// Package domain implements the state-space geometry of the paper's
+// analysis: the two-dimensional grid G = {0, 1/n, …, 1}² of consecutive
+// opinion fractions (x_t, x_{t+1}), its partition into the Green, Purple,
+// Red, Cyan and Yellow domains of Figure 1a (Section 2.1), and the finer
+// partition of the Yellow′ bounding box into the A, B and C areas of
+// Figure 2 (Section 3.1).
+//
+// Each domain comes in a 1-side and a 0-side variant; the 0-side is the
+// mirror image of the 1-side through the center (1/2, 1/2). Classification
+// resolves the paper's (measure-zero) boundary overlaps with a fixed
+// priority: Green, Yellow, Cyan, Purple, Red.
+package domain
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params fixes the geometry of the partition.
+type Params struct {
+	// N is the population size; it sets the 1/log n and 1/n thresholds.
+	N int
+	// Delta is the paper's δ ∈ (0, 1/2), the width of the low-speed band
+	// and the scale of the Yellow area. The paper takes δ small; the
+	// default used across experiments is 0.05.
+	Delta float64
+}
+
+// DefaultDelta is the δ used by the experiments unless overridden.
+const DefaultDelta = 0.05
+
+// NewParams returns Params for population n with the default δ.
+func NewParams(n int) Params { return Params{N: n, Delta: DefaultDelta} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("domain: N = %d, want ≥ 2", p.N)
+	}
+	if !(p.Delta > 0 && p.Delta < 0.5) {
+		return fmt.Errorf("domain: Delta = %v, want in (0, 1/2)", p.Delta)
+	}
+	return nil
+}
+
+// LogN returns log n (natural logarithm). The paper's thresholds 1/log n
+// and λ_n are stated up to constant factors; the natural log is used
+// consistently throughout this repository.
+func (p Params) LogN() float64 { return math.Log(float64(p.N)) }
+
+// Lambda returns λ_n = 1 / log^{1/2+δ} n (Section 2.1), the multiplicative
+// contraction separating Purple from Red.
+func (p Params) Lambda() float64 {
+	return 1 / math.Pow(p.LogN(), 0.5+p.Delta)
+}
+
+// Kind identifies a domain of the Figure 1a partition.
+type Kind int
+
+// The domains. KindOther is a defensive catch-all: with a valid Params the
+// five families cover the whole grid, and tests assert KindOther never
+// occurs.
+const (
+	KindGreen1 Kind = iota
+	KindGreen0
+	KindPurple1
+	KindPurple0
+	KindRed1
+	KindRed0
+	KindCyan1
+	KindCyan0
+	KindYellow
+	KindOther
+)
+
+var kindNames = [...]string{
+	KindGreen1:  "Green1",
+	KindGreen0:  "Green0",
+	KindPurple1: "Purple1",
+	KindPurple0: "Purple0",
+	KindRed1:    "Red1",
+	KindRed0:    "Red0",
+	KindCyan1:   "Cyan1",
+	KindCyan0:   "Cyan0",
+	KindYellow:  "Yellow",
+	KindOther:   "Other",
+}
+
+// String returns the domain's name as used in the paper.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Family is a side-agnostic domain family.
+type Family int
+
+// The five families of Figure 1a plus the defensive catch-all.
+const (
+	FamilyGreen Family = iota
+	FamilyPurple
+	FamilyRed
+	FamilyCyan
+	FamilyYellow
+	FamilyOther
+)
+
+var familyNames = [...]string{
+	FamilyGreen:  "Green",
+	FamilyPurple: "Purple",
+	FamilyRed:    "Red",
+	FamilyCyan:   "Cyan",
+	FamilyYellow: "Yellow",
+	FamilyOther:  "Other",
+}
+
+// String returns the family name.
+func (f Family) String() string {
+	if f < 0 || int(f) >= len(familyNames) {
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+	return familyNames[f]
+}
+
+// Family returns the side-agnostic family of k.
+func (k Kind) Family() Family {
+	switch k {
+	case KindGreen1, KindGreen0:
+		return FamilyGreen
+	case KindPurple1, KindPurple0:
+		return FamilyPurple
+	case KindRed1, KindRed0:
+		return FamilyRed
+	case KindCyan1, KindCyan0:
+		return FamilyCyan
+	case KindYellow:
+		return FamilyYellow
+	default:
+		return FamilyOther
+	}
+}
+
+// Side returns +1 for 1-side domains, 0 for 0-side domains, and -1 for the
+// sideless Yellow/Other.
+func (k Kind) Side() int {
+	switch k {
+	case KindGreen1, KindPurple1, KindRed1, KindCyan1:
+		return 1
+	case KindGreen0, KindPurple0, KindRed0, KindCyan0:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// Speed returns |x_{t+1} − x_t|, the paper's "speed" of a grid point
+// (the larger it is, the faster the convergence from that point).
+func Speed(x, y float64) float64 { return math.Abs(y - x) }
+
+// Classify returns the domain of the grid point (x, y) = (x_t, x_{t+1}).
+// Boundary overlaps between adjacent domains are resolved with the fixed
+// priority Green > Yellow > Cyan > Purple > Red.
+func (p Params) Classify(x, y float64) Kind {
+	d := p.Delta
+	invLog := 1 / p.LogN()
+	lambda := p.Lambda()
+
+	// Green: speed at least δ (Section 2.1; one round to consensus).
+	if y >= x+d {
+		return KindGreen1
+	}
+	if y <= x-d {
+		return KindGreen0
+	}
+
+	// From here on |y − x| < δ (the low-speed band).
+
+	// Yellow: both coordinates near 1/2.
+	if x >= 0.5-3*d && x <= 0.5+3*d &&
+		y >= 0.5-4*d && y <= 0.5+4*d {
+		return KindYellow
+	}
+
+	// Cyan: almost-consensus on one value over two consecutive rounds.
+	if math.Min(x, y) < invLog {
+		return KindCyan1
+	}
+	if math.Max(x, y) > 1-invLog {
+		return KindCyan0
+	}
+
+	// Purple / Red on the 1-side: x well below 1/2.
+	if x < 0.5-3*d {
+		if y >= (1-lambda)*x {
+			return KindPurple1
+		}
+		return KindRed1
+	}
+	// Purple / Red on the 0-side: mirror through (1/2, 1/2).
+	if x > 0.5+3*d {
+		if 1-y >= (1-lambda)*(1-x) {
+			return KindPurple0
+		}
+		return KindRed0
+	}
+
+	// Unreachable for valid Params: the band with x ∈ [1/2−3δ, 1/2+3δ]
+	// is Yellow.
+	return KindOther
+}
+
+// YellowPrimeContains reports whether (x, y) lies in the Yellow′ bounding
+// box [1/2 − 4δ, 1/2 + 4δ]² of Section 3 (Lemma 6). Yellow ⊂ Yellow′.
+func (p Params) YellowPrimeContains(x, y float64) bool {
+	d := p.Delta
+	return x >= 0.5-4*d && x <= 0.5+4*d && y >= 0.5-4*d && y <= 0.5+4*d
+}
+
+// Area identifies a sub-area of the Yellow′ partition of Figure 2.
+type Area int
+
+// The Yellow′ sub-areas. AreaOutside marks points not in Yellow′.
+const (
+	AreaA1 Area = iota
+	AreaA0
+	AreaB1
+	AreaB0
+	AreaC1
+	AreaC0
+	AreaOutside
+)
+
+var areaNames = [...]string{
+	AreaA1:      "A1",
+	AreaA0:      "A0",
+	AreaB1:      "B1",
+	AreaB0:      "B0",
+	AreaC1:      "C1",
+	AreaC0:      "C0",
+	AreaOutside: "outside",
+}
+
+// String returns the area's name as used in the paper.
+func (a Area) String() string {
+	if a < 0 || int(a) >= len(areaNames) {
+		return fmt.Sprintf("Area(%d)", int(a))
+	}
+	return areaNames[a]
+}
+
+// Letter returns the side-agnostic letter 'A', 'B', 'C', or 'X' for
+// outside.
+func (a Area) Letter() byte {
+	switch a {
+	case AreaA1, AreaA0:
+		return 'A'
+	case AreaB1, AreaB0:
+		return 'B'
+	case AreaC1, AreaC0:
+		return 'C'
+	default:
+		return 'X'
+	}
+}
+
+// ClassifyYellow returns the Figure 2 sub-area of (x, y) within Yellow′:
+//
+//	A1 = {y ≥ 1/2 and y − x ≥ x − 1/2}
+//	B1 = {y ≥ x and y − x < x − 1/2}
+//	C1 = {y < 1/2 and y ≥ x}
+//
+// intersected with Yellow′, plus their mirror images A0, B0, C0. Boundary
+// overlaps are resolved with priority A > B > C, and the diagonal y = x
+// belongs to the 1-side.
+func (p Params) ClassifyYellow(x, y float64) Area {
+	if !p.YellowPrimeContains(x, y) {
+		return AreaOutside
+	}
+	if y >= x {
+		switch {
+		case y >= 0.5 && y-x >= x-0.5:
+			return AreaA1
+		case y-x < x-0.5:
+			return AreaB1
+		default:
+			return AreaC1
+		}
+	}
+	// Mirror: classify (1−x, 1−y) on the 1-side.
+	mx, my := 1-x, 1-y
+	switch {
+	case my >= 0.5 && my-mx >= mx-0.5:
+		return AreaA0
+	case my-mx < mx-0.5:
+		return AreaB0
+	default:
+		return AreaC0
+	}
+}
+
+// Mirror returns the point reflected through the center (1/2, 1/2).
+func Mirror(x, y float64) (float64, float64) { return 1 - x, 1 - y }
+
+// MirrorKind returns the domain obtained by swapping the 1-side and
+// 0-side (Yellow and Other are self-mirrored).
+func MirrorKind(k Kind) Kind {
+	switch k {
+	case KindGreen1:
+		return KindGreen0
+	case KindGreen0:
+		return KindGreen1
+	case KindPurple1:
+		return KindPurple0
+	case KindPurple0:
+		return KindPurple1
+	case KindRed1:
+		return KindRed0
+	case KindRed0:
+		return KindRed1
+	case KindCyan1:
+		return KindCyan0
+	case KindCyan0:
+		return KindCyan1
+	default:
+		return k
+	}
+}
+
+// MirrorArea returns the Yellow′ area reflected through the center.
+func MirrorArea(a Area) Area {
+	switch a {
+	case AreaA1:
+		return AreaA0
+	case AreaA0:
+		return AreaA1
+	case AreaB1:
+		return AreaB0
+	case AreaB0:
+		return AreaB1
+	case AreaC1:
+		return AreaC0
+	case AreaC0:
+		return AreaC1
+	default:
+		return a
+	}
+}
+
+// Kinds lists every Kind, for iteration in tables and tests.
+func Kinds() []Kind {
+	return []Kind{
+		KindGreen1, KindGreen0, KindPurple1, KindPurple0,
+		KindRed1, KindRed0, KindCyan1, KindCyan0, KindYellow, KindOther,
+	}
+}
+
+// Areas lists every Yellow′ Area, for iteration in tables and tests.
+func Areas() []Area {
+	return []Area{AreaA1, AreaA0, AreaB1, AreaB0, AreaC1, AreaC0, AreaOutside}
+}

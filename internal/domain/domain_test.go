@@ -1,0 +1,299 @@
+package domain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params { return NewParams(1 << 20) }
+
+func TestValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 1, Delta: 0.05},
+		{N: 100, Delta: 0},
+		{N: 100, Delta: 0.5},
+		{N: 100, Delta: -0.1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("Params %+v validated", p)
+		}
+	}
+}
+
+func TestLambda(t *testing.T) {
+	p := params()
+	want := 1 / math.Pow(math.Log(float64(p.N)), 0.5+p.Delta)
+	if got := p.Lambda(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Lambda = %v, want %v", got, want)
+	}
+	if p.Lambda() <= 0 || p.Lambda() >= 1 {
+		t.Fatalf("Lambda = %v out of (0,1)", p.Lambda())
+	}
+}
+
+func TestClassifyKnownPoints(t *testing.T) {
+	p := params() // δ = 0.05, n = 2^20: 1/log n ≈ 0.072, λ ≈ 0.236
+	tests := []struct {
+		x, y float64
+		want Kind
+	}{
+		{0.2, 0.5, KindGreen1},   // big upward speed
+		{0.5, 0.2, KindGreen0},   // big downward speed
+		{0.3, 0.3, KindPurple1},  // low speed, x well below 1/2, y ≥ (1−λ)x
+		{0.7, 0.7, KindPurple0},  // mirror
+		{0.15, 0.105, KindRed1},  // y < (1−λ)x but within δ band, y ≥ 1/log n
+		{0.85, 0.895, KindRed0},  // mirror
+		{0.05, 0.05, KindCyan1},  // almost-consensus on 0
+		{0.95, 0.95, KindCyan0},  // almost-consensus on 1
+		{0.5, 0.5, KindYellow},   // dead center
+		{0.4, 0.44, KindYellow},  // inside the yellow box
+		{1, 1, KindCyan0},        // absorbing corner
+		{0.001, 0.02, KindCyan1}, // near origin, inside band (|y−x| < δ)
+	}
+	for _, tc := range tests {
+		if got := p.Classify(tc.x, tc.y); got != tc.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyRedRequiresContraction(t *testing.T) {
+	p := params()
+	// Red1 is nonempty only where λ·x < δ; x = 0.15 qualifies at n = 2^20.
+	x := 0.15
+	lambda := p.Lambda()
+	yPurple := (1 - lambda) * x * 1.001 // just above the frontier
+	yRed := (1 - lambda) * x * 0.999    // just below
+	if got := p.Classify(x, yPurple); got != KindPurple1 {
+		t.Fatalf("just above frontier: %v", got)
+	}
+	if got := p.Classify(x, yRed); got != KindRed1 {
+		t.Fatalf("just below frontier: %v", got)
+	}
+}
+
+func TestClassifyNeverOther(t *testing.T) {
+	// The five families must cover the grid: sweep a fine lattice.
+	p := params()
+	const m = 400
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			x := float64(i) / m
+			y := float64(j) / m
+			if got := p.Classify(x, y); got == KindOther {
+				t.Fatalf("Classify(%v, %v) = Other: partition has a hole", x, y)
+			}
+		}
+	}
+}
+
+func TestClassifyMirrorSymmetry(t *testing.T) {
+	// Classify(1−x, 1−y) must be the mirror kind of Classify(x, y).
+	p := params()
+	f := func(xr, yr uint16) bool {
+		x := float64(xr) / math.MaxUint16
+		y := float64(yr) / math.MaxUint16
+		k := p.Classify(x, y)
+		mx, my := Mirror(x, y)
+		return p.Classify(mx, my) == MirrorKind(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreenSpeedThreshold(t *testing.T) {
+	p := params()
+	// Exactly at speed δ upward is Green1; just inside the band is not.
+	if got := p.Classify(0.3, 0.3+p.Delta); got != KindGreen1 {
+		t.Fatalf("speed=δ up: %v", got)
+	}
+	if got := p.Classify(0.3, 0.3+p.Delta-1e-9); got == KindGreen1 {
+		t.Fatalf("speed<δ misclassified Green1")
+	}
+	if got := p.Classify(0.3, 0.3-p.Delta); got != KindGreen0 {
+		t.Fatalf("speed=δ down: %v", got)
+	}
+}
+
+func TestKindStringAndFamily(t *testing.T) {
+	wantFamily := map[Kind]Family{
+		KindGreen1: FamilyGreen, KindGreen0: FamilyGreen,
+		KindPurple1: FamilyPurple, KindPurple0: FamilyPurple,
+		KindRed1: FamilyRed, KindRed0: FamilyRed,
+		KindCyan1: FamilyCyan, KindCyan0: FamilyCyan,
+		KindYellow: FamilyYellow, KindOther: FamilyOther,
+	}
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", int(k))
+		}
+		if k.Family() != wantFamily[k] {
+			t.Fatalf("%v.Family() = %v", k, k.Family())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal(Kind(99).String())
+	}
+	if Family(99).String() != "Family(99)" {
+		t.Fatal(Family(99).String())
+	}
+	if Area(99).String() != "Area(99)" {
+		t.Fatal(Area(99).String())
+	}
+}
+
+func TestKindSide(t *testing.T) {
+	if KindGreen1.Side() != 1 || KindCyan1.Side() != 1 {
+		t.Fatal("1-side kinds")
+	}
+	if KindGreen0.Side() != 0 || KindRed0.Side() != 0 {
+		t.Fatal("0-side kinds")
+	}
+	if KindYellow.Side() != -1 || KindOther.Side() != -1 {
+		t.Fatal("sideless kinds")
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	if Speed(0.3, 0.5) != 0.2 {
+		t.Fatal("speed up")
+	}
+	if Speed(0.5, 0.3) != 0.2 {
+		t.Fatal("speed down")
+	}
+}
+
+func TestYellowPrimeContainsYellow(t *testing.T) {
+	// Yellow ⊂ Yellow′ (the paper's motivation for the bounding box).
+	p := params()
+	const m = 300
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			x := float64(i) / m
+			y := float64(j) / m
+			if p.Classify(x, y) == KindYellow && !p.YellowPrimeContains(x, y) {
+				t.Fatalf("Yellow point (%v, %v) outside Yellow′", x, y)
+			}
+		}
+	}
+}
+
+func TestClassifyYellowKnownPoints(t *testing.T) {
+	p := params() // Yellow′ = [0.3, 0.7]²
+	tests := []struct {
+		x, y float64
+		want Area
+	}{
+		{0.5, 0.6, AreaA1},   // above diagonal and above anti-slope
+		{0.5, 0.4, AreaA0},   // mirror
+		{0.65, 0.66, AreaB1}, // x > 1/2, tiny positive speed
+		{0.35, 0.34, AreaB0}, // mirror
+		{0.4, 0.45, AreaC1},  // below 1/2, moving up
+		{0.6, 0.55, AreaC0},  // mirror
+		{0.9, 0.9, AreaOutside},
+		{0.1, 0.5, AreaOutside},
+	}
+	for _, tc := range tests {
+		if got := p.ClassifyYellow(tc.x, tc.y); got != tc.want {
+			t.Errorf("ClassifyYellow(%v, %v) = %v, want %v", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyYellowCoversBox(t *testing.T) {
+	p := params()
+	const m = 200
+	lo, hi := 0.5-4*p.Delta, 0.5+4*p.Delta
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			x := lo + (hi-lo)*float64(i)/m
+			y := lo + (hi-lo)*float64(j)/m
+			if got := p.ClassifyYellow(x, y); got == AreaOutside {
+				t.Fatalf("point (%v, %v) in Yellow′ classified outside", x, y)
+			}
+		}
+	}
+}
+
+func TestClassifyYellowMirrorSymmetry(t *testing.T) {
+	p := params()
+	lo, hi := 0.5-4*p.Delta, 0.5+4*p.Delta
+	const m = 120
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			x := lo + (hi-lo)*float64(i)/m
+			y := lo + (hi-lo)*float64(j)/m
+			if x == y || x+y == 1 {
+				continue // boundary points may flip side under mirroring
+			}
+			a := p.ClassifyYellow(x, y)
+			mx, my := Mirror(x, y)
+			if got := p.ClassifyYellow(mx, my); got != MirrorArea(a) {
+				t.Fatalf("mirror asymmetry at (%v, %v): %v vs %v", x, y, a, got)
+			}
+		}
+	}
+}
+
+func TestAreaLetter(t *testing.T) {
+	tests := map[Area]byte{
+		AreaA1: 'A', AreaA0: 'A',
+		AreaB1: 'B', AreaB0: 'B',
+		AreaC1: 'C', AreaC0: 'C',
+		AreaOutside: 'X',
+	}
+	for a, want := range tests {
+		if got := a.Letter(); got != want {
+			t.Errorf("%v.Letter() = %c, want %c", a, got, want)
+		}
+	}
+}
+
+func TestAreasAndKindsComplete(t *testing.T) {
+	if len(Kinds()) != 10 {
+		t.Fatalf("Kinds() has %d entries", len(Kinds()))
+	}
+	if len(Areas()) != 7 {
+		t.Fatalf("Areas() has %d entries", len(Areas()))
+	}
+}
+
+func TestMirrorInvolution(t *testing.T) {
+	for _, k := range Kinds() {
+		if MirrorKind(MirrorKind(k)) != k {
+			t.Fatalf("MirrorKind not an involution at %v", k)
+		}
+	}
+	for _, a := range Areas() {
+		if MirrorArea(MirrorArea(a)) != a {
+			t.Fatalf("MirrorArea not an involution at %v", a)
+		}
+	}
+}
+
+func TestB1RequiresRightHalf(t *testing.T) {
+	// B1 needs y ≥ x and y − x < x − 1/2, which forces x > 1/2.
+	p := params()
+	const m = 200
+	lo, hi := 0.5-4*p.Delta, 0.5+4*p.Delta
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			x := lo + (hi-lo)*float64(i)/m
+			y := lo + (hi-lo)*float64(j)/m
+			if p.ClassifyYellow(x, y) == AreaB1 {
+				if x <= 0.5 {
+					t.Fatalf("B1 point with x = %v ≤ 1/2", x)
+				}
+				if y < x {
+					t.Fatalf("B1 point with y < x: (%v, %v)", x, y)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package domain
+
+import "strings"
+
+// kindGlyphs maps each domain to its map character: upper case for the
+// 1-side, lower case for the 0-side.
+var kindGlyphs = map[Kind]byte{
+	KindGreen1:  'G',
+	KindGreen0:  'g',
+	KindPurple1: 'P',
+	KindPurple0: 'p',
+	KindRed1:    'R',
+	KindRed0:    'r',
+	KindCyan1:   'C',
+	KindCyan0:   'c',
+	KindYellow:  'Y',
+	KindOther:   '?',
+}
+
+// Glyph returns the single-character map glyph for a domain.
+func (k Kind) Glyph() byte {
+	if g, ok := kindGlyphs[k]; ok {
+		return g
+	}
+	return '?'
+}
+
+// areaGlyphs maps each Yellow′ sub-area to its map character.
+var areaGlyphs = map[Area]byte{
+	AreaA1:      'A',
+	AreaA0:      'a',
+	AreaB1:      'B',
+	AreaB0:      'b',
+	AreaC1:      'C',
+	AreaC0:      'c',
+	AreaOutside: '.',
+}
+
+// Glyph returns the single-character map glyph for an area.
+func (a Area) Glyph() byte {
+	if g, ok := areaGlyphs[a]; ok {
+		return g
+	}
+	return '.'
+}
+
+// RenderMap reproduces Figure 1a as an ASCII map of the domain partition,
+// on an (m+1)×(m+1) lattice over [0, 1]². Rows run from x_{t+1} = 1 at the
+// top down to 0, columns from x_t = 0 on the left to 1, matching the
+// figure's axes. The legend of glyphs is given by Kind.Glyph.
+func (p Params) RenderMap(m int) string {
+	var b strings.Builder
+	b.Grow((m + 2) * (m + 1))
+	for j := m; j >= 0; j-- {
+		y := float64(j) / float64(m)
+		for i := 0; i <= m; i++ {
+			x := float64(i) / float64(m)
+			b.WriteByte(p.Classify(x, y).Glyph())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderYellowMap reproduces Figure 2 as an ASCII map of the Yellow′
+// partition into A/B/C, on an (m+1)×(m+1) lattice over the Yellow′
+// bounding box. Axes are oriented as in RenderMap.
+func (p Params) RenderYellowMap(m int) string {
+	lo, hi := 0.5-4*p.Delta, 0.5+4*p.Delta
+	var b strings.Builder
+	b.Grow((m + 2) * (m + 1))
+	for j := m; j >= 0; j-- {
+		y := lo + (hi-lo)*float64(j)/float64(m)
+		for i := 0; i <= m; i++ {
+			x := lo + (hi-lo)*float64(i)/float64(m)
+			b.WriteByte(p.ClassifyYellow(x, y).Glyph())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountCells classifies every cell of an (m+1)×(m+1) lattice over [0, 1]²
+// and returns the number of cells per domain — the quantitative companion
+// to RenderMap used by experiment E02.
+func (p Params) CountCells(m int) map[Kind]int {
+	counts := make(map[Kind]int, len(kindGlyphs))
+	for j := 0; j <= m; j++ {
+		y := float64(j) / float64(m)
+		for i := 0; i <= m; i++ {
+			x := float64(i) / float64(m)
+			counts[p.Classify(x, y)]++
+		}
+	}
+	return counts
+}
+
+// CountYellowCells classifies every cell of a lattice over the Yellow′
+// box and returns the number of cells per area (experiment E04).
+func (p Params) CountYellowCells(m int) map[Area]int {
+	lo, hi := 0.5-4*p.Delta, 0.5+4*p.Delta
+	counts := make(map[Area]int, len(areaGlyphs))
+	for j := 0; j <= m; j++ {
+		y := lo + (hi-lo)*float64(j)/float64(m)
+		for i := 0; i <= m; i++ {
+			x := lo + (hi-lo)*float64(i)/float64(m)
+			counts[p.ClassifyYellow(x, y)]++
+		}
+	}
+	return counts
+}

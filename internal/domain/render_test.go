@@ -1,0 +1,137 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderMapShape(t *testing.T) {
+	p := params()
+	const m = 40
+	out := p.RenderMap(m)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != m+1 {
+		t.Fatalf("map has %d rows, want %d", len(lines), m+1)
+	}
+	for i, line := range lines {
+		if len(line) != m+1 {
+			t.Fatalf("row %d has %d columns, want %d", i, len(line), m+1)
+		}
+	}
+}
+
+func TestRenderMapCorners(t *testing.T) {
+	p := params()
+	const m = 40
+	lines := strings.Split(strings.TrimRight(p.RenderMap(m), "\n"), "\n")
+	// Top-left corner is (x=0, y=1): speed 1 upward → Green1.
+	if lines[0][0] != 'G' {
+		t.Fatalf("top-left glyph %c, want G", lines[0][0])
+	}
+	// Bottom-right corner is (x=1, y=0): speed 1 downward → Green0.
+	if lines[m][m] != 'g' {
+		t.Fatalf("bottom-right glyph %c, want g", lines[m][m])
+	}
+	// Bottom-left corner is (0, 0): Cyan1. Top-right (1, 1): Cyan0.
+	if lines[m][0] != 'C' {
+		t.Fatalf("bottom-left glyph %c, want C", lines[m][0])
+	}
+	if lines[0][m] != 'c' {
+		t.Fatalf("top-right glyph %c, want c", lines[0][m])
+	}
+}
+
+func TestRenderMapContainsAllReachableDomains(t *testing.T) {
+	p := params()
+	out := p.RenderMap(200)
+	for _, glyph := range []string{"G", "g", "P", "p", "R", "r", "C", "c", "Y"} {
+		if !strings.Contains(out, glyph) {
+			t.Fatalf("map missing glyph %q", glyph)
+		}
+	}
+	if strings.Contains(out, "?") {
+		t.Fatal("map contains the Other glyph: partition hole")
+	}
+}
+
+func TestRenderYellowMapShapeAndContent(t *testing.T) {
+	p := params()
+	const m = 60
+	out := p.RenderYellowMap(m)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != m+1 {
+		t.Fatalf("map has %d rows", len(lines))
+	}
+	for _, glyph := range []string{"A", "a", "B", "b", "C", "c"} {
+		if !strings.Contains(out, glyph) {
+			t.Fatalf("yellow map missing glyph %q", glyph)
+		}
+	}
+	if strings.Contains(out, ".") {
+		t.Fatal("yellow map contains outside glyph inside the box")
+	}
+}
+
+func TestCountCellsTotalsAndSymmetry(t *testing.T) {
+	p := params()
+	const m = 150
+	counts := p.CountCells(m)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if want := (m + 1) * (m + 1); total != want {
+		t.Fatalf("cell total %d, want %d", total, want)
+	}
+	if counts[KindOther] != 0 {
+		t.Fatalf("%d Other cells", counts[KindOther])
+	}
+	// Mirror symmetry: the two sides of each family have equal counts
+	// (the lattice is symmetric under (x,y) → (1−x, 1−y) for even m+1...
+	// with m even the lattice maps onto itself exactly).
+	pairs := [][2]Kind{
+		{KindGreen1, KindGreen0},
+		{KindPurple1, KindPurple0},
+		{KindRed1, KindRed0},
+		{KindCyan1, KindCyan0},
+	}
+	for _, pair := range pairs {
+		if counts[pair[0]] != counts[pair[1]] {
+			t.Fatalf("%v count %d != %v count %d",
+				pair[0], counts[pair[0]], pair[1], counts[pair[1]])
+		}
+	}
+	if counts[KindYellow] == 0 {
+		t.Fatal("no Yellow cells")
+	}
+}
+
+func TestCountYellowCellsTotals(t *testing.T) {
+	p := params()
+	const m = 100
+	counts := p.CountYellowCells(m)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if want := (m + 1) * (m + 1); total != want {
+		t.Fatalf("cell total %d, want %d", total, want)
+	}
+	if counts[AreaOutside] != 0 {
+		t.Fatalf("%d outside cells within the box", counts[AreaOutside])
+	}
+	for _, a := range []Area{AreaA1, AreaA0, AreaB1, AreaB0, AreaC1, AreaC0} {
+		if counts[a] == 0 {
+			t.Fatalf("area %v empty", a)
+		}
+	}
+}
+
+func TestGlyphFallbacks(t *testing.T) {
+	if Kind(99).Glyph() != '?' {
+		t.Fatal("kind glyph fallback")
+	}
+	if Area(99).Glyph() != '.' {
+		t.Fatal("area glyph fallback")
+	}
+}

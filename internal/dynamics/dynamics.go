@@ -1,0 +1,113 @@
+// Package dynamics implements classical opinion dynamics as comparison
+// baselines for FET: the Voter model, 3-Majority, and Undecided-State
+// Dynamics (Section 1.4's related work: Liggett 1985; Doerr et al. 2011;
+// Angluin et al. 2008).
+//
+// All three reach consensus fast, but on the majority (or a random) value
+// as evident in the initial configuration — not on the source's value.
+// Experiment E18 uses them to demonstrate why the self-stabilizing
+// bit-dissemination problem is not solved by plain consensus dynamics: a
+// single stubborn source cannot reliably steer them within polylog time
+// from adversarial starts.
+//
+// The Voter and 3-Majority rules are natively passive (the information
+// used is exactly the sampled opinions). Undecided-State Dynamics
+// classically exchanges a three-valued state; to stay inside the passive
+// binary-opinion model, undecided agents here keep displaying their last
+// opinion while internally undecided — a faithful passive-communication
+// projection of the dynamics (documented deviation; see DESIGN.md).
+package dynamics
+
+import (
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+)
+
+// Voter is the voter model: copy the opinion of one uniformly sampled
+// agent each round.
+type Voter struct{}
+
+var _ sim.Protocol = Voter{}
+
+// Name implements sim.Protocol.
+func (Voter) Name() string { return "Voter" }
+
+// SampleSizes implements sim.Protocol.
+func (Voter) SampleSizes() []int { return nil }
+
+// NewAgent implements sim.Protocol.
+func (Voter) NewAgent(*rng.Source) sim.Agent { return voterAgent{} }
+
+type voterAgent struct{}
+
+func (voterAgent) Step(_ byte, obs sim.Observation) byte { return obs.Sample() }
+
+// ThreeMajority samples three agents and adopts the majority opinion of
+// the sample.
+type ThreeMajority struct{}
+
+var _ sim.Protocol = ThreeMajority{}
+
+// Name implements sim.Protocol.
+func (ThreeMajority) Name() string { return "3-Majority" }
+
+// SampleSizes implements sim.Protocol.
+func (ThreeMajority) SampleSizes() []int { return []int{3} }
+
+// NewAgent implements sim.Protocol.
+func (ThreeMajority) NewAgent(*rng.Source) sim.Agent { return threeMajorityAgent{} }
+
+type threeMajorityAgent struct{}
+
+func (threeMajorityAgent) Step(_ byte, obs sim.Observation) byte {
+	if obs.CountOnes(3) >= 2 {
+		return sim.OpinionOne
+	}
+	return sim.OpinionZero
+}
+
+// Undecided is the Undecided-State Dynamics, projected to passive binary
+// communication: an agent holding opinion b that samples 1−b becomes
+// undecided (still displaying b); an undecided agent adopts whatever it
+// samples next.
+type Undecided struct{}
+
+var _ sim.Protocol = Undecided{}
+
+// Name implements sim.Protocol.
+func (Undecided) Name() string { return "Undecided-State" }
+
+// SampleSizes implements sim.Protocol.
+func (Undecided) SampleSizes() []int { return nil }
+
+// NewAgent implements sim.Protocol.
+func (Undecided) NewAgent(*rng.Source) sim.Agent { return &undecidedAgent{} }
+
+type undecidedAgent struct {
+	undecided bool
+}
+
+var (
+	_ sim.Agent            = (*undecidedAgent)(nil)
+	_ sim.StateCorruptible = (*undecidedAgent)(nil)
+)
+
+func (a *undecidedAgent) Step(cur byte, obs sim.Observation) byte {
+	seen := obs.Sample()
+	if a.undecided {
+		a.undecided = false
+		return seen
+	}
+	if seen != cur {
+		a.undecided = true
+	}
+	return cur
+}
+
+// CorruptState implements sim.StateCorruptible.
+func (a *undecidedAgent) CorruptState(src *rng.Source) {
+	a.undecided = src.Bit() == 1
+}
+
+// Undecidedness reports the agent's internal flag (exposed for tests).
+func (a *undecidedAgent) Undecidedness() bool { return a.undecided }

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderText renders a report as plain text with aligned tables.
+func RenderText(rep *Report) string {
+	return render(rep, false)
+}
+
+// RenderMarkdown renders a report with Markdown tables.
+func RenderMarkdown(rep *Report) string {
+	return render(rep, true)
+}
+
+func render(rep *Report, markdown bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s [%s] ==\n\n", rep.ID, rep.Title, rep.PaperRef)
+	for _, sec := range rep.Sections {
+		fmt.Fprintf(&b, "-- %s --\n", sec.Name)
+		if sec.Text != "" {
+			b.WriteString(sec.Text)
+			if !strings.HasSuffix(sec.Text, "\n") {
+				b.WriteByte('\n')
+			}
+		}
+		if sec.Table != nil {
+			if markdown {
+				b.WriteString(sec.Table.Markdown())
+			} else {
+				b.WriteString(sec.Table.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, note := range rep.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}

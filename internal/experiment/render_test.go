@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"passivespread/internal/tablefmt"
+)
+
+func sampleReport() *Report {
+	rep := &Report{ID: "E99", Title: "sample", PaperRef: "nowhere"}
+	tab := tablefmt.New("a", "b")
+	tab.AddRow(1, 2)
+	rep.AddTable("numbers", tab)
+	rep.AddText("map", "XY\nZW")
+	rep.AddNote("hello %s", "world")
+	return rep
+}
+
+func TestRenderText(t *testing.T) {
+	out := RenderText(sampleReport())
+	for _, want := range []string{
+		"== E99 — sample [nowhere] ==",
+		"-- numbers --",
+		"a  b",
+		"1  2",
+		"-- map --",
+		"XY\nZW\n",
+		"note: hello world",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	out := RenderMarkdown(sampleReport())
+	if !strings.Contains(out, "| a | b |") {
+		t.Fatalf("markdown render missing table header:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1 | 2 |") {
+		t.Fatalf("markdown render missing row:\n%s", out)
+	}
+}
+
+func TestRenderTextNewlineTermination(t *testing.T) {
+	rep := &Report{ID: "X", Title: "t", PaperRef: "p"}
+	rep.AddText("no-newline", "abc")
+	out := RenderText(rep)
+	if !strings.Contains(out, "abc\n") {
+		t.Fatalf("text section must be newline-terminated:\n%q", out)
+	}
+}

@@ -1,0 +1,94 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"passivespread/internal/dist"
+)
+
+// StepDistribution returns the exact probability mass function of
+// K_{t+2} conditioned on the state s: index k of the returned slice is
+// P(K_{t+2} = k). It is the distributional form of Observation 1 —
+// K_{t+2} = 1 + Binomial(K_{t+1}−1, stay) + Binomial(n−K_{t+1}, gain) —
+// computed by convolving the two binomial pmfs in O(n²) time. Intended
+// for moderate n (validation, exact hitting-time analysis, and the
+// noise-lemma experiments); the sampling Step covers large n.
+func (c *Chain) StepDistribution(s State) []float64 {
+	c.validate(s)
+	x0 := float64(s.K0) / float64(c.n)
+	x1 := float64(s.K1) / float64(c.n)
+	st := dist.Step(c.ell, x0, x1)
+
+	a := dist.PMFVector(s.K1-1, st.StayOne)   // survivors among 1-holders
+	b := dist.PMFVector(c.n-s.K1, st.GainOne) // converts among 0-holders
+
+	pmf := make([]float64, c.n+1)
+	for i, pa := range a {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b {
+			k := 1 + i + j
+			if k <= c.n {
+				pmf[k] += pa * pb
+			}
+		}
+	}
+	return pmf
+}
+
+// StepMoments returns the exact mean and variance of x_{t+2} conditioned
+// on the state s, in fraction units. The mean equals the paper's drift
+// g(x_t, x_{t+1}) (Observation 1 / Eq. (2)); the variance quantifies the
+// noise that Lemmas 16–17 rely on (the process is never too concentrated
+// near any point, enabling tie-breaking in the Yellow analysis).
+func (c *Chain) StepMoments(s State) (mean, variance float64) {
+	c.validate(s)
+	x0 := float64(s.K0) / float64(c.n)
+	x1 := float64(s.K1) / float64(c.n)
+	st := dist.Step(c.ell, x0, x1)
+	nf := float64(c.n)
+
+	ones := float64(s.K1)
+	m := 1 + (ones-1)*st.StayOne + (nf-ones)*st.GainOne
+	v := (ones-1)*st.StayOne*(1-st.StayOne) + (nf-ones)*st.GainOne*(1-st.GainOne)
+	return m / nf, v / (nf * nf)
+}
+
+// NoiseLowerBound empirically mirrors Lemma 16: it returns the exact
+// probability that x_{t+2} deviates from its conditional mean by at least
+// 1/√n, computed from the exact step distribution. The paper proves this
+// is bounded below by a constant whenever E(x_{t+2}) ∈ [1/3, 2/3].
+func (c *Chain) NoiseLowerBound(s State) float64 {
+	pmf := c.StepDistribution(s)
+	mean, _ := c.StepMoments(s)
+	dev := 1 / math.Sqrt(float64(c.n))
+	p := 0.0
+	for k, pk := range pmf {
+		x := float64(k) / float64(c.n)
+		if math.Abs(x-mean) >= dev {
+			p += pk
+		}
+	}
+	return p
+}
+
+// ExpectedHittingTime estimates the mean absorption time from start by
+// averaging over trials independent runs; it reports the sample mean and
+// whether every run absorbed within maxRounds. It panics on trials < 1.
+func (c *Chain) ExpectedHittingTime(start State, maxRounds, trials int) (mean float64, allAbsorbed bool) {
+	if trials < 1 {
+		panic(fmt.Sprintf("markov: ExpectedHittingTime with trials = %d", trials))
+	}
+	sum := 0.0
+	allAbsorbed = true
+	for i := 0; i < trials; i++ {
+		rounds, ok := c.HittingTime(start, maxRounds)
+		if !ok {
+			allAbsorbed = false
+		}
+		sum += float64(rounds)
+	}
+	return sum / float64(trials), allAbsorbed
+}

@@ -1,0 +1,90 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExactHittingTimes solves, by value iteration over the full state space,
+// the expected number of rounds to reach the absorbing corner (n, n) from
+// every state (K0, K1). The recurrence follows the chain structure: a
+// state (k0, k1) moves to (k1, K2) with K2 distributed by the exact step
+// law, so
+//
+//	h(k0, k1) = 1 + Σ_{k2} P(K2 = k2 | k0, k1) · h(k1, k2).
+//
+// The computation is O(iterations · n³) time and O(n²) space, so it is
+// intended for small populations (n ≲ 100), where it provides ground
+// truth for the Monte-Carlo estimators. It returns the matrix h indexed
+// as h[k0][k1−1] (k1 ranges over 1..n because the source always holds 1),
+// iterating until the maximum update falls below tol or maxIters sweeps.
+func (c *Chain) ExactHittingTimes(tol float64, maxIters int) ([][]float64, error) {
+	if c.n > 200 {
+		return nil, fmt.Errorf("markov: ExactHittingTimes with n = %d (> 200); use Monte Carlo", c.n)
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("markov: ExactHittingTimes with tol = %v", tol)
+	}
+	n := c.n
+
+	// Precompute the step law for every state. pmf[k0][k1-1][k2] with the
+	// absorbing state handled separately.
+	pmf := make([][][]float64, n+1)
+	for k0 := 0; k0 <= n; k0++ {
+		pmf[k0] = make([][]float64, n)
+		for k1 := 1; k1 <= n; k1++ {
+			pmf[k0][k1-1] = c.StepDistribution(State{K0: k0, K1: k1})
+		}
+	}
+
+	h := make([][]float64, n+1)
+	next := make([][]float64, n+1)
+	for k0 := range h {
+		h[k0] = make([]float64, n)
+		next[k0] = make([]float64, n)
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		maxDelta := 0.0
+		for k0 := 0; k0 <= n; k0++ {
+			for k1 := 1; k1 <= n; k1++ {
+				if k0 == n && k1 == n {
+					next[k0][k1-1] = 0
+					continue
+				}
+				sum := 1.0
+				row := pmf[k0][k1-1]
+				for k2 := 1; k2 <= n; k2++ {
+					p := row[k2]
+					if p == 0 {
+						continue
+					}
+					if k1 == n && k2 == n {
+						continue // absorbed next round: contributes 0
+					}
+					sum += p * h[k1][k2-1]
+				}
+				next[k0][k1-1] = sum
+				if d := math.Abs(sum - h[k0][k1-1]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		h, next = next, h
+		if maxDelta < tol {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("markov: ExactHittingTimes did not converge in %d sweeps", maxIters)
+}
+
+// ExactHittingTimeFrom is a convenience wrapper returning the expected
+// absorption time from a single state.
+func (c *Chain) ExactHittingTimeFrom(s State, tol float64, maxIters int) (float64, error) {
+	c.validate(s)
+	h, err := c.ExactHittingTimes(tol, maxIters)
+	if err != nil {
+		return 0, err
+	}
+	return h[s.K0][s.K1-1], nil
+}

@@ -1,0 +1,96 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactHittingTimesAbsorbingZero(t *testing.T) {
+	c := New(20, 6, 1)
+	h, err := c.ExactHittingTimes(1e-9, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h[20][19]; got != 0 {
+		t.Fatalf("h(n, n) = %v, want 0", got)
+	}
+	for k0 := 0; k0 <= 20; k0++ {
+		for k1 := 1; k1 <= 20; k1++ {
+			if k0 == 20 && k1 == 20 {
+				continue
+			}
+			if h[k0][k1-1] < 1 {
+				t.Fatalf("h(%d, %d) = %v < 1", k0, k1, h[k0][k1-1])
+			}
+			if math.IsNaN(h[k0][k1-1]) || math.IsInf(h[k0][k1-1], 0) {
+				t.Fatalf("h(%d, %d) = %v", k0, k1, h[k0][k1-1])
+			}
+		}
+	}
+}
+
+func TestExactHittingTimeMatchesMonteCarlo(t *testing.T) {
+	const (
+		n      = 24
+		ell    = 8
+		trials = 4000
+	)
+	c := New(n, ell, 7)
+	start := State{K0: 0, K1: 1} // all wrong except the source
+
+	exact, err := c.ExactHittingTimeFrom(start, 1e-10, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		rounds, ok := c.HittingTime(start, 100000)
+		if !ok {
+			t.Fatal("Monte-Carlo run did not absorb")
+		}
+		sum += float64(rounds)
+	}
+	mc := sum / trials
+
+	// Hitting times have heavy-ish tails; allow a 5% relative band plus
+	// an absolute slack for the MC error.
+	if math.Abs(mc-exact) > 0.05*exact+0.5 {
+		t.Fatalf("exact %v vs Monte-Carlo %v", exact, mc)
+	}
+}
+
+func TestExactHittingTimesRejectsLargeN(t *testing.T) {
+	c := New(500, 10, 1)
+	if _, err := c.ExactHittingTimes(1e-9, 1000); err == nil {
+		t.Fatal("expected size rejection")
+	}
+}
+
+func TestExactHittingTimesRejectsBadTol(t *testing.T) {
+	c := New(10, 4, 1)
+	if _, err := c.ExactHittingTimes(0, 1000); err == nil {
+		t.Fatal("expected tol rejection")
+	}
+}
+
+func TestExactHittingTimeTrendDirectionMatters(t *testing.T) {
+	// FET reads trends, not positions: from (n−1, n) — an uptrend ending
+	// at all-ones — absorption is nearly immediate, whereas (n, n−1) — a
+	// small dip from the top — reads as a downtrend, triggers a crash to
+	// the wrong side, and must go through the whole bounce again. The
+	// exact solver exposes both facts.
+	c := New(20, 6, 2)
+	h, err := c.ExactHittingTimes(1e-9, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := h[19][19]  // h(n−1, n)
+	dip := h[20][18] // h(n, n−1)
+	if up > 2 {
+		t.Fatalf("h(n-1, n) = %v, want ≈1 (uptrend at the top absorbs immediately)", up)
+	}
+	if dip <= h[0][0] {
+		t.Fatalf("h(n, n-1) = %v should exceed h(0,1) = %v (dip reads as a downtrend)", dip, h[0][0])
+	}
+}

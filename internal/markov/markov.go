@@ -1,0 +1,178 @@
+// Package markov implements the aggregate engine for FET: the Markov
+// chain on the grid G = {0, 1/n, …, 1}² induced by the protocol
+// (Observation 1 of the paper).
+//
+// Conditioned on (x_t, x_{t+1}), the opinions at round t+2 are independent
+// Bernoulli variables: every non-source agent currently holding 1 keeps it
+// with probability P(B_ℓ(x_{t+1}) ≥ B_ℓ(x_t)), and every agent holding 0
+// switches with probability P(B_ℓ(x_{t+1}) > B_ℓ(x_t)). The number of
+// 1-opinions at t+2 is therefore
+//
+//	K_{t+2} = 1 + Binomial(K_{t+1} − 1, stay) + Binomial(n − K_{t+1}, gain)
+//
+// (the leading 1 is the source, which holds opinion 1 without loss of
+// generality). One chain step costs O(ℓ) exact probability computation
+// plus two O(1) binomial draws, so the chain scales to populations of
+// 10⁹ and beyond — far past what the agent engines can reach — while
+// remaining an exact simulation of the protocol's opinion-count process.
+package markov
+
+import (
+	"fmt"
+
+	"passivespread/internal/dist"
+	"passivespread/internal/rng"
+)
+
+// State is a point of the chain: the integer counts of 1-opinions at two
+// consecutive rounds (K0 = n·x_t, K1 = n·x_{t+1}).
+type State struct {
+	K0, K1 int
+}
+
+// Chain simulates the FET opinion-count process for a population of n
+// agents containing exactly one source with opinion 1.
+type Chain struct {
+	n   int
+	ell int
+	src *rng.Source
+}
+
+// New returns a Chain for population n with per-half sample size ell,
+// drawing randomness from seed.
+func New(n, ell int, seed uint64) *Chain {
+	if n < 2 {
+		panic(fmt.Sprintf("markov: New with n = %d", n))
+	}
+	if ell < 1 {
+		panic(fmt.Sprintf("markov: New with ell = %d", ell))
+	}
+	return &Chain{n: n, ell: ell, src: rng.New(seed)}
+}
+
+// N returns the population size.
+func (c *Chain) N() int { return c.n }
+
+// Ell returns the per-half sample size.
+func (c *Chain) Ell() int { return c.ell }
+
+// StateAt returns the grid state closest to the fractions (x0, x1),
+// clamped so that K1 ≥ 1 (the source always holds 1) and both counts lie
+// in [0, n].
+func (c *Chain) StateAt(x0, x1 float64) State {
+	clamp := func(k int) int {
+		if k < 0 {
+			return 0
+		}
+		if k > c.n {
+			return c.n
+		}
+		return k
+	}
+	s := State{
+		K0: clamp(int(x0*float64(c.n) + 0.5)),
+		K1: clamp(int(x1*float64(c.n) + 0.5)),
+	}
+	if s.K1 < 1 {
+		s.K1 = 1
+	}
+	return s
+}
+
+// X returns the state's fractional coordinates (x_t, x_{t+1}).
+func (c *Chain) X(s State) (x0, x1 float64) {
+	return float64(s.K0) / float64(c.n), float64(s.K1) / float64(c.n)
+}
+
+// Absorbed reports whether the state is the absorbing corner (1, 1): all
+// agents held opinion 1 for two consecutive rounds, after which every FET
+// comparison ties and nothing changes.
+func (c *Chain) Absorbed(s State) bool {
+	return s.K0 == c.n && s.K1 == c.n
+}
+
+// Step advances the chain by one round.
+func (c *Chain) Step(s State) State {
+	c.validate(s)
+	x0 := float64(s.K0) / float64(c.n)
+	x1 := float64(s.K1) / float64(c.n)
+	st := dist.Step(c.ell, x0, x1)
+	ones := 1 +
+		c.src.Binomial(s.K1-1, st.StayOne) +
+		c.src.Binomial(c.n-s.K1, st.GainOne)
+	return State{K0: s.K1, K1: ones}
+}
+
+func (c *Chain) validate(s State) {
+	if s.K0 < 0 || s.K0 > c.n || s.K1 < 1 || s.K1 > c.n {
+		panic(fmt.Sprintf("markov: invalid state %+v for n = %d", s, c.n))
+	}
+}
+
+// Result reports a chain run.
+type Result struct {
+	// Converged reports whether the absorbing corner was reached.
+	Converged bool
+	// Round is the round at which the chain entered the absorbing corner
+	// (the paper's t_con), or −1.
+	Round int
+	// Rounds is the number of steps executed.
+	Rounds int
+	// Final is the last state.
+	Final State
+	// Trajectory holds x_{t+1} per executed round when requested.
+	Trajectory []float64
+}
+
+// RunConfig controls a chain run.
+type RunConfig struct {
+	// Start is the initial state.
+	Start State
+	// MaxRounds caps the run.
+	MaxRounds int
+	// RecordTrajectory stores the x coordinate after every step.
+	RecordTrajectory bool
+	// Stop, when non-nil, is evaluated after every step; returning true
+	// ends the run early.
+	Stop func(round int, s State) bool
+}
+
+// Run executes the chain until absorption, the Stop predicate, or the
+// round cap.
+func (c *Chain) Run(cfg RunConfig) Result {
+	if cfg.MaxRounds <= 0 {
+		panic("markov: RunConfig.MaxRounds must be positive")
+	}
+	s := cfg.Start
+	res := Result{Round: -1}
+	if cfg.RecordTrajectory {
+		res.Trajectory = make([]float64, 0, cfg.MaxRounds)
+	}
+	for t := 0; t < cfg.MaxRounds; t++ {
+		s = c.Step(s)
+		res.Rounds++
+		if cfg.RecordTrajectory {
+			res.Trajectory = append(res.Trajectory, float64(s.K1)/float64(c.n))
+		}
+		if c.Absorbed(s) {
+			res.Converged = true
+			res.Round = t + 1
+			break
+		}
+		if cfg.Stop != nil && cfg.Stop(t, s) {
+			break
+		}
+	}
+	res.Final = s
+	return res
+}
+
+// HittingTime runs the chain from start and returns the number of rounds
+// until absorption, or maxRounds and ok=false if the cap was hit.
+func (c *Chain) HittingTime(start State, maxRounds int) (rounds int, ok bool) {
+	res := c.Run(RunConfig{Start: start, MaxRounds: maxRounds})
+	if !res.Converged {
+		return maxRounds, false
+	}
+	return res.Round, true
+}

@@ -1,0 +1,156 @@
+// Package meanfield analyzes the deterministic mean-field skeleton of the
+// FET dynamics: the two-dimensional map
+//
+//	(x_t, x_{t+1})  →  (x_{t+1}, g(x_t, x_{t+1}))
+//
+// where g is the exact one-step drift of Observation 1. The map captures
+// the expected motion of the opinion fraction with all stochastic
+// fluctuation removed.
+//
+// The mean-field view isolates a structural fact behind the paper's
+// analysis: the center (1/2, 1/2) is a saddle of the map. Along the
+// diagonal x_t = x_{t+1} the drift pulls toward 1/2 (g(x,x) − x has the
+// sign of 1/2 − x up to the O(1/n) source term), but the transverse
+// "speed" direction is unstable — a deviation |x_{t+1} − x_t| is
+// amplified by a ~√ℓ-scale multiplier per round (the derivative bound of
+// Claim 11). The trend-following rule thus turns any asymmetry into
+// exponential speed growth: the deterministic skeleton is seeded only by
+// the source's O(1/n) push, while the stochastic process re-seeds the
+// amplification every round with Θ(1/√n) sampling fluctuations — the
+// speed build-up of Lemmas 7–10. Experiment E21 compares the two.
+package meanfield
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"passivespread/internal/dist"
+)
+
+// Map is the deterministic mean-field iteration for a population of n
+// agents (one source holding opinion 1) with per-half sample size ell.
+type Map struct {
+	n   int
+	ell int
+}
+
+// New returns the mean-field map. It panics on invalid sizes.
+func New(n, ell int) Map {
+	if n < 2 {
+		panic(fmt.Sprintf("meanfield: New with n = %d", n))
+	}
+	if ell < 1 {
+		panic(fmt.Sprintf("meanfield: New with ell = %d", ell))
+	}
+	return Map{n: n, ell: ell}
+}
+
+// N returns the population size.
+func (m Map) N() int { return m.n }
+
+// Ell returns the per-half sample size.
+func (m Map) Ell() int { return m.ell }
+
+// Next applies one step of the map.
+func (m Map) Next(x0, x1 float64) (nx0, nx1 float64) {
+	return x1, dist.Drift(m.n, m.ell, x0, x1)
+}
+
+// Orbit iterates the map for steps rounds and returns the visited points,
+// starting with (x0, x1). The result has steps+1 entries.
+func (m Map) Orbit(x0, x1 float64, steps int) [][2]float64 {
+	if steps < 0 {
+		panic(fmt.Sprintf("meanfield: Orbit with steps = %d", steps))
+	}
+	out := make([][2]float64, 0, steps+1)
+	out = append(out, [2]float64{x0, x1})
+	for i := 0; i < steps; i++ {
+		x0, x1 = m.Next(x0, x1)
+		out = append(out, [2]float64{x0, x1})
+	}
+	return out
+}
+
+// Limit iterates until the orbit is within tol of a diagonal fixed point
+// (|x1 − x0| < tol and |g(x0,x1) − x1| < tol) or maxSteps is exhausted.
+// It returns the final x value, the number of steps taken, and whether a
+// fixed point was reached.
+func (m Map) Limit(x0, x1 float64, maxSteps int, tol float64) (limit float64, steps int, ok bool) {
+	for i := 0; i < maxSteps; i++ {
+		nx0, nx1 := m.Next(x0, x1)
+		if math.Abs(nx1-x1) < tol && math.Abs(x1-x0) < tol {
+			return nx1, i, true
+		}
+		x0, x1 = nx0, nx1
+	}
+	return x1, maxSteps, false
+}
+
+// DiagonalDrift returns g(x, x) − x: the one-step expected motion when
+// the last two rounds had the same fraction. Up to the O(1/n) source
+// term it has the sign of 1/2 − x (ties dilute toward the center).
+func (m Map) DiagonalDrift(x float64) float64 {
+	return dist.Drift(m.n, m.ell, x, x) - x
+}
+
+// DiagonalFixedPoints scans the diagonal at the given resolution and
+// returns the x values where the drift changes sign or vanishes — the
+// rest points of the deterministic skeleton.
+func (m Map) DiagonalFixedPoints(res int) []float64 {
+	if res < 2 {
+		panic(fmt.Sprintf("meanfield: DiagonalFixedPoints with res = %d", res))
+	}
+	var roots []float64
+	prevX := 0.0
+	prevD := m.DiagonalDrift(prevX)
+	for i := 1; i <= res; i++ {
+		x := float64(i) / float64(res)
+		d := m.DiagonalDrift(x)
+		if d == 0 {
+			roots = append(roots, x)
+		} else if prevD != 0 && (d < 0) != (prevD < 0) {
+			// Sign change: bisect for the crossing.
+			lo, hi := prevX, x
+			for iter := 0; iter < 60; iter++ {
+				mid := (lo + hi) / 2
+				if (m.DiagonalDrift(mid) < 0) == (prevD < 0) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			roots = append(roots, (lo+hi)/2)
+		}
+		prevX, prevD = x, d
+	}
+	return roots
+}
+
+// RenderField renders the direction of the expected motion x_{t+2} − x_{t+1}
+// over the grid as an ASCII quiver: '^' up, 'v' down, '·' negligible
+// (|drift| < 1/n·10). Axes match the Figure 1a maps (x_t →, x_{t+1} ↑).
+func (m Map) RenderField(res int) string {
+	if res < 1 {
+		panic(fmt.Sprintf("meanfield: RenderField with res = %d", res))
+	}
+	threshold := 10.0 / float64(m.n)
+	var b strings.Builder
+	for j := res; j >= 0; j-- {
+		y := float64(j) / float64(res)
+		for i := 0; i <= res; i++ {
+			x := float64(i) / float64(res)
+			d := dist.Drift(m.n, m.ell, x, y) - y
+			switch {
+			case d > threshold:
+				b.WriteByte('^')
+			case d < -threshold:
+				b.WriteByte('v')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package meanfield
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"passivespread/internal/core"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ n, ell int }{{1, 4}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", tc.n, tc.ell)
+				}
+			}()
+			New(tc.n, tc.ell)
+		}()
+	}
+	m := New(100, 8)
+	if m.N() != 100 || m.Ell() != 8 {
+		t.Fatalf("accessors: %d %d", m.N(), m.Ell())
+	}
+}
+
+func TestNextMatchesDrift(t *testing.T) {
+	m := New(1000, 20)
+	nx0, nx1 := m.Next(0.3, 0.5)
+	if nx0 != 0.5 {
+		t.Fatalf("shift: %v", nx0)
+	}
+	if nx1 < 0 || nx1 > 1 {
+		t.Fatalf("drift out of range: %v", nx1)
+	}
+}
+
+func TestOrbitLengthAndRange(t *testing.T) {
+	m := New(512, core.SampleSize(512, core.DefaultC))
+	orbit := m.Orbit(0.2, 0.2, 50)
+	if len(orbit) != 51 {
+		t.Fatalf("orbit length %d", len(orbit))
+	}
+	for i, pt := range orbit {
+		if pt[0] < 0 || pt[0] > 1 || pt[1] < 0 || pt[1] > 1 {
+			t.Fatalf("orbit[%d] = %v out of the unit square", i, pt)
+		}
+	}
+}
+
+func TestOrbitPanicsNegativeSteps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(100, 8).Orbit(0.5, 0.5, -1)
+}
+
+func TestDiagonalDriftPullsTowardCenter(t *testing.T) {
+	// Away from the center the diagonal drift points at 1/2 (the O(1/n)
+	// source term is negligible at these distances).
+	m := New(1<<16, 48)
+	if d := m.DiagonalDrift(0.2); d <= 0 {
+		t.Fatalf("drift at 0.2 = %v, want > 0 (toward center)", d)
+	}
+	if d := m.DiagonalDrift(0.8); d >= 0 {
+		t.Fatalf("drift at 0.8 = %v, want < 0 (toward center)", d)
+	}
+}
+
+func TestDiagonalDriftSourceBias(t *testing.T) {
+	// Exactly at the center the only surviving term is the source's
+	// O(1/n) upward push.
+	m := New(1024, 30)
+	d := m.DiagonalDrift(0.5)
+	if d <= 0 || d > 2.0/1024 {
+		t.Fatalf("center drift %v, want a small positive source push", d)
+	}
+}
+
+func TestDeterministicSkeletonConvergesToOne(t *testing.T) {
+	// The center is a saddle: the source's O(1/n) push seeds the unstable
+	// speed direction, whose ~√ℓ-per-round amplification carries the
+	// deterministic orbit to the all-ones fixed point in O(log n)-scale
+	// time.
+	n := 256
+	m := New(n, core.SampleSize(n, core.DefaultC))
+	limit, steps, ok := m.Limit(0.5, 0.5, 100*n, 1e-9)
+	if !ok {
+		t.Fatalf("skeleton did not settle within %d steps (at %v)", 100*n, limit)
+	}
+	if math.Abs(limit-1) > 1e-6 {
+		t.Fatalf("skeleton limit %v, want 1", limit)
+	}
+	if steps < 3 {
+		t.Fatalf("skeleton settled in %d steps — the saddle escape cannot be instant", steps)
+	}
+}
+
+func TestSpeedAmplification(t *testing.T) {
+	// The transverse instability: starting with a small positive speed,
+	// one step must grow the speed (until saturation) — the mean-field
+	// face of Lemma 7's doubling.
+	m := New(1<<16, 48)
+	x0, x1 := 0.5, 0.502 // speed 0.002
+	_, x2 := m.Next(x0, x1)
+	if x2-x1 <= x1-x0 {
+		t.Fatalf("speed not amplified: %v → %v", x1-x0, x2-x1)
+	}
+}
+
+func TestDiagonalFixedPointsContainOne(t *testing.T) {
+	m := New(1024, 30)
+	roots := m.DiagonalFixedPoints(200)
+	foundOne := false
+	for _, r := range roots {
+		if math.Abs(r-1) < 1e-6 {
+			foundOne = true
+		}
+	}
+	if !foundOne {
+		t.Fatalf("all-ones fixed point missing from %v", roots)
+	}
+}
+
+func TestDiagonalFixedPointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(100, 8).DiagonalFixedPoints(1)
+}
+
+func TestRenderFieldShapeAndGlyphs(t *testing.T) {
+	m := New(1<<16, 48)
+	const res = 30
+	out := m.RenderField(res)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != res+1 {
+		t.Fatalf("%d rows", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != res+1 {
+			t.Fatalf("row width %d", len(l))
+		}
+	}
+	if !strings.Contains(out, "^") || !strings.Contains(out, "v") {
+		t.Fatalf("field lacks both directions:\n%s", out)
+	}
+	// (x, y) = (0.2, 0.5): strong upward trend → nearly everyone adopts 1
+	// next round, so the expected motion points up. Row index for y is
+	// res − j with y = j/res.
+	if g := lines[res-res/2][res/5]; g != '^' {
+		t.Fatalf("glyph at (0.2, 0.5) = %c, want ^", g)
+	}
+	// (x, y) = (0.8, 0.5): downward trend → motion points down.
+	if g := lines[res-res/2][4*res/5]; g != 'v' {
+		t.Fatalf("glyph at (0.8, 0.5) = %c, want v", g)
+	}
+	// Saturated corners have nowhere to go: (0, 1) and (1, 1) are flat.
+	if lines[0][0] != '.' || lines[0][res] != '.' {
+		t.Fatalf("top corners not flat: %c %c", lines[0][0], lines[0][res])
+	}
+}
+
+func TestRenderFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(100, 8).RenderField(0)
+}

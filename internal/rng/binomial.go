@@ -1,0 +1,234 @@
+package rng
+
+import "math"
+
+// Binomial draws a Binomial(n, p) variate.
+//
+// The sampler dispatches on the regime:
+//   - n ≤ smallN: direct sum of Bernoulli trials (exact, branch-cheap);
+//   - n·min(p,1−p) ≤ inversionMean: sequential inversion from the pmf
+//     recurrence (exact, O(mean) expected time);
+//   - otherwise: BTRS, the transformed-rejection sampler of Hörmann
+//     (exact, O(1) expected time), suitable for n up to 10^9 and beyond.
+//
+// All three paths are exact samplers of the binomial law; they differ only
+// in speed.
+func (s *Source) Binomial(n int, p float64) int {
+	switch {
+	case n < 0:
+		panic("rng: Binomial called with negative n")
+	case n == 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	// Exploit symmetry so the worked probability is ≤ 1/2; this keeps the
+	// inversion loop short and BTRS in its valid regime.
+	if p > 0.5 {
+		return n - s.Binomial(n, 1-p)
+	}
+	const (
+		smallN        = 16
+		inversionMean = 14.0
+	)
+	switch {
+	case n <= smallN:
+		return s.binomialBernoulli(n, p)
+	case float64(n)*p <= inversionMean:
+		return s.binomialInversion(n, p)
+	default:
+		return s.binomialBTRS(n, p)
+	}
+}
+
+// binomialBernoulli sums n Bernoulli(p) trials.
+func (s *Source) binomialBernoulli(n int, p float64) int {
+	// Compare 53-bit fixed-point threshold against the top bits of each
+	// Uint64 to avoid n Float64 conversions.
+	threshold := uint64(p * (1 << 53))
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Uint64()>>11 < threshold {
+			count++
+		}
+	}
+	return count
+}
+
+// binomialInversion draws by inverting the CDF with the pmf recurrence
+// P(k+1) = P(k) · (n−k)/(k+1) · p/(1−p). Requires p ≤ 1/2 and small n·p.
+func (s *Source) binomialInversion(n int, p float64) int {
+	q := 1 - p
+	// q^n can underflow only when n·p is large, which this path excludes.
+	f := math.Pow(q, float64(n))
+	r := p / q
+	u := s.Float64()
+	k := 0
+	for u > f {
+		u -= f
+		f *= float64(n-k) / float64(k+1) * r
+		k++
+		if k > n { // numeric safety: total mass slightly below 1
+			return n
+		}
+	}
+	return k
+}
+
+// binomialBTRS implements the BTRS transformed-rejection algorithm
+// (W. Hörmann, "The generation of binomial random variates", 1993).
+// Requires p ≤ 1/2 and n·p ≥ 10.
+func (s *Source) binomialBTRS(n int, p float64) int {
+	nf := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(nf * p * q)
+
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor(float64(n+1) * p)
+	h := lgammaFloat(m+1) + lgammaFloat(nf-m+1)
+
+	for {
+		u := s.Float64() - 0.5
+		v := s.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + c)
+		if kf < 0 || kf > nf {
+			continue
+		}
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		// Squeeze failed: accept/reject via the exact log-pmf ratio.
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		if v <= h-lgammaFloat(kf+1)-lgammaFloat(nf-kf+1)+(kf-m)*lpq {
+			return int(kf)
+		}
+	}
+}
+
+func lgammaFloat(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// BinomialCDF is a precomputed inverse-CDF sampler for a fixed
+// Binomial(n, p) law. When many agents draw from the same binomial in a
+// round (all observations that round are Binomial(ℓ, x_t)), building the
+// table once and sampling by binary search is far cheaper than independent
+// sampling, and is exact.
+type BinomialCDF struct {
+	n   int
+	p   float64
+	cdf []float64 // cdf[k] = P(B ≤ k); cdf[n] forced to 1
+}
+
+// NewBinomialCDF builds the table for Binomial(n, p). n must be ≥ 0 and
+// small enough that an (n+1)-entry table is acceptable (it is intended for
+// n = ℓ = O(log population)).
+func NewBinomialCDF(n int, p float64) *BinomialCDF {
+	if n < 0 {
+		panic("rng: NewBinomialCDF with negative n")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	cdf := make([]float64, n+1)
+	// pmf by log-space evaluation at the mode would be more stable, but
+	// for n = O(log population) the direct recurrence from k=0 suffices
+	// unless q^n underflows; in that case start from k=n going down.
+	q := 1 - p
+	switch {
+	case p == 0:
+		for k := range cdf {
+			cdf[k] = 1
+		}
+	case p == 1:
+		for k := 0; k < n; k++ {
+			cdf[k] = 0
+		}
+		cdf[n] = 1
+	default:
+		f := math.Pow(q, float64(n))
+		if f > 0 {
+			r := p / q
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += f
+				cdf[k] = sum
+				f *= float64(n-k) / float64(k+1) * r
+			}
+		} else {
+			// Extremely skewed: evaluate each pmf term in log space.
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += math.Exp(logBinomPMF(n, k, p))
+				cdf[k] = sum
+			}
+		}
+		cdf[n] = 1
+	}
+	return &BinomialCDF{n: n, p: p, cdf: cdf}
+}
+
+// logBinomPMF returns log P(Binomial(n,p) = k) computed in log space.
+func logBinomPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if p == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p == 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return lgammaFloat(float64(n+1)) - lgammaFloat(float64(k+1)) - lgammaFloat(float64(n-k+1)) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// N returns the number of trials of the tabulated law.
+func (b *BinomialCDF) N() int { return b.n }
+
+// P returns the success probability of the tabulated law.
+func (b *BinomialCDF) P() float64 { return b.p }
+
+// Sample draws one variate using the source.
+func (b *BinomialCDF) Sample(src *Source) int {
+	u := src.Float64()
+	// Binary search for the smallest k with cdf[k] > u.
+	lo, hi := 0, b.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// CDF returns P(B ≤ k) for the tabulated law, with out-of-range k clamped.
+func (b *BinomialCDF) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= b.n {
+		return 1
+	}
+	return b.cdf[k]
+}

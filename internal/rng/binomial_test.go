@@ -1,0 +1,267 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// checkBinomialMoments draws `trials` variates of Binomial(n, p) and
+// verifies the sample mean and variance against the exact moments within
+// a z-score tolerance.
+func checkBinomialMoments(t *testing.T, s *Source, n int, p float64, trials int) {
+	t.Helper()
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		k := s.Binomial(n, p)
+		if k < 0 || k > n {
+			t.Fatalf("Binomial(%d, %v) = %d out of range", n, p, k)
+		}
+		f := float64(k)
+		sum += f
+		sum2 += f * f
+	}
+	tf := float64(trials)
+	mean := sum / tf
+	variance := sum2/tf - mean*mean
+	wantMean := float64(n) * p
+	wantVar := float64(n) * p * (1 - p)
+	// Standard error of the mean is sqrt(var/trials); allow 5σ.
+	seMean := math.Sqrt(wantVar/tf) + 1e-12
+	if math.Abs(mean-wantMean) > 5*seMean+1e-9 {
+		t.Fatalf("Binomial(%d, %v): mean = %v, want %v (±%v)", n, p, mean, wantMean, 5*seMean)
+	}
+	// Variance of the sample variance ≈ 2·var²/trials for near-normal laws;
+	// use a generous 6σ band plus slack for skew.
+	seVar := math.Sqrt(2/tf)*wantVar + wantVar/10 + 1e-12
+	if wantVar > 0 && math.Abs(variance-wantVar) > 6*seVar {
+		t.Fatalf("Binomial(%d, %v): variance = %v, want %v", n, p, variance, wantVar)
+	}
+}
+
+func TestBinomialMomentsAllRegimes(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{1, 0.5},           // Bernoulli path
+		{10, 0.3},          // Bernoulli path
+		{16, 0.9},          // symmetry + Bernoulli
+		{100, 0.05},        // inversion path (np = 5)
+		{200, 0.02},        // inversion path
+		{1000, 0.4},        // BTRS path
+		{100000, 0.3},      // BTRS path
+		{100000, 0.97},     // symmetry + BTRS
+		{10000000, 0.0002}, // inversion with huge n, small mean
+	}
+	for _, tc := range cases {
+		s := New(uint64(tc.n)*7919 + uint64(tc.p*1e6))
+		checkBinomialMoments(t, s, tc.n, tc.p, 20000)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	s := New(1)
+	if got := s.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+	if got := s.Binomial(10, 0); got != 0 {
+		t.Fatalf("Binomial(10, 0) = %d", got)
+	}
+	if got := s.Binomial(10, 1); got != 10 {
+		t.Fatalf("Binomial(10, 1) = %d", got)
+	}
+	if got := s.Binomial(1000000, 1); got != 1000000 {
+		t.Fatalf("Binomial(1e6, 1) = %d", got)
+	}
+}
+
+func TestBinomialPanicsOnNegativeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, .5) did not panic")
+		}
+	}()
+	New(1).Binomial(-1, 0.5)
+}
+
+func TestBinomialRangeProperty(t *testing.T) {
+	s := New(17)
+	f := func(nRaw uint16, pRaw uint16) bool {
+		n := int(nRaw % 5000)
+		p := float64(pRaw) / math.MaxUint16
+		k := s.Binomial(n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinomialExactSmallDistribution checks the full distribution for a
+// small case against exact probabilities with a chi-square-style bound.
+func TestBinomialExactSmallDistribution(t *testing.T) {
+	const (
+		n      = 8
+		p      = 0.37
+		trials = 400000
+	)
+	s := New(23)
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		counts[s.Binomial(n, p)]++
+	}
+	for k := 0; k <= n; k++ {
+		want := math.Exp(logBinomPMF(n, k, p)) * trials
+		if want < 20 {
+			continue // too rare for a tight frequency check
+		}
+		if diff := math.Abs(float64(counts[k]) - want); diff > 6*math.Sqrt(want) {
+			t.Fatalf("Binomial(%d,%v): P(k=%d) empirical %d, want ≈%v", n, p, k, counts[k], want)
+		}
+	}
+}
+
+func TestLogBinomPMFNormalization(t *testing.T) {
+	for _, n := range []int{1, 5, 30, 200} {
+		for _, p := range []float64{0.01, 0.3, 0.5, 0.77, 0.99} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += math.Exp(logBinomPMF(n, k, p))
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("pmf(n=%d, p=%v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestLogBinomPMFEdges(t *testing.T) {
+	if got := logBinomPMF(5, -1, 0.5); !math.IsInf(got, -1) {
+		t.Fatalf("pmf(k=-1) = %v, want -Inf", got)
+	}
+	if got := logBinomPMF(5, 6, 0.5); !math.IsInf(got, -1) {
+		t.Fatalf("pmf(k>n) = %v, want -Inf", got)
+	}
+	if got := logBinomPMF(5, 0, 0); got != 0 {
+		t.Fatalf("pmf(k=0,p=0) = %v, want 0 (= log 1)", got)
+	}
+	if got := logBinomPMF(5, 5, 1); got != 0 {
+		t.Fatalf("pmf(k=n,p=1) = %v, want 0", got)
+	}
+	if got := logBinomPMF(5, 3, 0); !math.IsInf(got, -1) {
+		t.Fatalf("pmf(k=3,p=0) = %v, want -Inf", got)
+	}
+}
+
+func TestBinomialCDFTableMatchesExact(t *testing.T) {
+	for _, n := range []int{1, 7, 33, 64} {
+		for _, p := range []float64{0, 0.001, 0.25, 0.5, 0.93, 1} {
+			tab := NewBinomialCDF(n, p)
+			cum := 0.0
+			for k := 0; k <= n; k++ {
+				cum += math.Exp(logBinomPMF(n, k, p))
+				got := tab.CDF(k)
+				want := math.Min(cum, 1)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("CDF(n=%d,p=%v,k=%d) = %v, want %v", n, p, k, got, want)
+				}
+			}
+			if tab.CDF(-1) != 0 {
+				t.Fatalf("CDF(-1) = %v", tab.CDF(-1))
+			}
+			if tab.CDF(n+5) != 1 {
+				t.Fatalf("CDF(n+5) = %v", tab.CDF(n+5))
+			}
+		}
+	}
+}
+
+func TestBinomialCDFSamplerAgreesWithDirect(t *testing.T) {
+	const (
+		n      = 24
+		p      = 0.41
+		trials = 300000
+	)
+	tab := NewBinomialCDF(n, p)
+	s := New(31)
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		k := tab.Sample(s)
+		if k < 0 || k > n {
+			t.Fatalf("table sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k := 0; k <= n; k++ {
+		want := math.Exp(logBinomPMF(n, k, p)) * trials
+		if want < 20 {
+			continue
+		}
+		if diff := math.Abs(float64(counts[k]) - want); diff > 6*math.Sqrt(want) {
+			t.Fatalf("table sampler: P(k=%d) empirical %d, want ≈%v", k, counts[k], want)
+		}
+	}
+}
+
+func TestBinomialCDFAccessors(t *testing.T) {
+	tab := NewBinomialCDF(12, 0.3)
+	if tab.N() != 12 || tab.P() != 0.3 {
+		t.Fatalf("accessors: N=%d P=%v", tab.N(), tab.P())
+	}
+}
+
+func TestBinomialCDFClampsP(t *testing.T) {
+	lo := NewBinomialCDF(4, -0.2)
+	if lo.P() != 0 {
+		t.Fatalf("p clamp low: %v", lo.P())
+	}
+	hi := NewBinomialCDF(4, 1.7)
+	if hi.P() != 1 {
+		t.Fatalf("p clamp high: %v", hi.P())
+	}
+	s := New(2)
+	if k := lo.Sample(s); k != 0 {
+		t.Fatalf("sample of B(4,0) = %d", k)
+	}
+	if k := hi.Sample(s); k != 4 {
+		t.Fatalf("sample of B(4,1) = %d", k)
+	}
+}
+
+func TestBinomialCDFPanicsOnNegativeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBinomialCDF(-1, .5) did not panic")
+		}
+	}()
+	NewBinomialCDF(-1, 0.5)
+}
+
+func BenchmarkBinomialSmall(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = s.Binomial(30, 0.4)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialBTRS(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = s.Binomial(1000000, 0.3)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialCDFSample(b *testing.B) {
+	tab := NewBinomialCDF(30, 0.4)
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = tab.Sample(s)
+	}
+	_ = sink
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+
+	"passivespread/internal/rng"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// N is the population size, including sources. Must be ≥ 2.
+	N int
+	// Sources is the number of source agents (default 1). The paper's
+	// framework allows a constant number of sources that agree on the
+	// correct opinion.
+	Sources int
+	// Correct is the opinion held by the sources (default OpinionOne).
+	Correct byte
+	// Protocol is the non-source update rule. Required.
+	Protocol Protocol
+	// Init chooses the adversarial starting opinions. Required.
+	Init Initializer
+	// Engine selects the observation implementation (default fast).
+	Engine EngineKind
+	// Seed is the root seed; all randomness derives from it.
+	Seed uint64
+	// MaxRounds caps the simulation length. Required (> 0).
+	MaxRounds int
+	// AbsorbWindow is the number of consecutive all-correct rounds after
+	// which the run is declared absorbed (default 2: under FET, two
+	// consecutive all-correct rounds force ties forever, so the state is
+	// provably absorbing).
+	AbsorbWindow int
+	// RunToEnd, when set, keeps simulating after absorption so the caller
+	// can verify stability over the full horizon.
+	RunToEnd bool
+	// RecordTrajectory stores x_t for every executed round in the result.
+	RecordTrajectory bool
+	// CorruptStates, when set, calls CorruptState on every agent that
+	// implements StateCorruptible before round 0 (worst-case memory).
+	CorruptStates bool
+	// StateInit, when non-nil, is invoked on every non-source agent after
+	// construction (and after CorruptStates). It allows experiments to
+	// place protocol-specific internal state, e.g. seeding FET counts to
+	// start the chain at a chosen grid point.
+	StateInit func(i int, agent Agent, src *rng.Source)
+	// OnRound, when non-nil, is invoked after every round with the round
+	// index and the new fraction of 1-opinions. Returning false stops the
+	// run early (reported as stopped, not converged unless already
+	// absorbed).
+	OnRound func(round int, x float64) bool
+	// NoiseEps, when positive, flips every observed opinion bit
+	// independently with probability NoiseEps before the agent sees it —
+	// the noisy-communication model of Feinerman et al. (2017) and
+	// Boczkowski et al. (2018), referenced in the paper's related work.
+	// Must lie in [0, 1/2).
+	NoiseEps float64
+	// FlipCorrectAt, when positive, flips the correct opinion at the
+	// start of that round: the environment changes mid-run and the
+	// sources switch sides. Convergence is then judged against the new
+	// correct value (the paper's §1.2 remark: "the adversary may initially
+	// set a different opinion to the source, but then the value of the
+	// correct bit would change").
+	FlipCorrectAt int
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Converged reports whether the absorption criterion was met.
+	Converged bool
+	// Round is the first round of the final all-correct run (the paper's
+	// t_con) when Converged, else −1.
+	Round int
+	// Rounds is the number of rounds actually executed.
+	Rounds int
+	// FinalX is the fraction of 1-opinions after the last executed round.
+	FinalX float64
+	// Trajectory holds x_t for t = 0..Rounds when requested (x_0 is the
+	// initial configuration).
+	Trajectory []float64
+	// StoppedEarly reports that OnRound requested a stop.
+	StoppedEarly bool
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.N < 2 {
+		return cfg, fmt.Errorf("sim: N = %d, need at least 2 agents", cfg.N)
+	}
+	if cfg.Sources == 0 {
+		cfg.Sources = 1
+	}
+	if cfg.Sources < 1 || cfg.Sources >= cfg.N {
+		return cfg, fmt.Errorf("sim: Sources = %d out of range [1, N)", cfg.Sources)
+	}
+	if cfg.Correct > 1 {
+		return cfg, fmt.Errorf("sim: Correct = %d, want 0 or 1", cfg.Correct)
+	}
+	if cfg.Protocol == nil {
+		return cfg, fmt.Errorf("sim: Protocol is required")
+	}
+	if cfg.Init == nil {
+		return cfg, fmt.Errorf("sim: Init is required")
+	}
+	if cfg.MaxRounds <= 0 {
+		return cfg, fmt.Errorf("sim: MaxRounds = %d, want > 0", cfg.MaxRounds)
+	}
+	if cfg.AbsorbWindow == 0 {
+		cfg.AbsorbWindow = 2
+	}
+	if cfg.AbsorbWindow < 1 {
+		return cfg, fmt.Errorf("sim: AbsorbWindow = %d, want ≥ 1", cfg.AbsorbWindow)
+	}
+	if cfg.NoiseEps < 0 || cfg.NoiseEps >= 0.5 {
+		return cfg, fmt.Errorf("sim: NoiseEps = %v, want in [0, 1/2)", cfg.NoiseEps)
+	}
+	if cfg.FlipCorrectAt < 0 {
+		return cfg, fmt.Errorf("sim: FlipCorrectAt = %d, want ≥ 0", cfg.FlipCorrectAt)
+	}
+	return cfg, nil
+}
+
+// Run executes the simulation described by cfg and returns its result.
+func Run(cfg Config) (Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+
+	n := c.N
+	opinions := make([]byte, n)
+	next := make([]byte, n)
+	isSource := make([]bool, n)
+	// Sources occupy the first indices; sampling is uniform so placement
+	// is irrelevant.
+	for i := 0; i < c.Sources; i++ {
+		isSource[i] = true
+		opinions[i] = c.Correct
+	}
+
+	// Stream 0 seeds the initializer; streams 1..n seed the agents.
+	initSrc := rng.NewFrom(c.Seed, 0)
+	c.Init.Assign(opinions, isSource, initSrc)
+	for i := 0; i < c.Sources; i++ {
+		if opinions[i] != c.Correct {
+			return Result{}, fmt.Errorf("sim: initializer %q overwrote a source opinion", c.Init.Name())
+		}
+	}
+
+	agents := make([]Agent, n)
+	srcs := make([]*rng.Source, n)
+	for i := c.Sources; i < n; i++ {
+		srcs[i] = rng.NewFrom(c.Seed, uint64(i)+1)
+		agents[i] = c.Protocol.NewAgent(srcs[i])
+		if c.CorruptStates {
+			if sc, ok := agents[i].(StateCorruptible); ok {
+				sc.CorruptState(srcs[i])
+			}
+		}
+		if c.StateInit != nil {
+			c.StateInit(i, agents[i], srcs[i])
+		}
+	}
+
+	sampleSizes := c.Protocol.SampleSizes()
+
+	correct := c.Correct
+	countOnes := func(ops []byte) int {
+		ones := 0
+		for _, o := range ops {
+			ones += int(o)
+		}
+		return ones
+	}
+	allCorrect := func(ops []byte) bool {
+		for _, o := range ops {
+			if o != correct {
+				return false
+			}
+		}
+		return true
+	}
+
+	res := Result{Round: -1}
+	if c.RecordTrajectory {
+		res.Trajectory = make([]float64, 0, c.MaxRounds+1)
+		res.Trajectory = append(res.Trajectory, float64(countOnes(opinions))/float64(n))
+	}
+
+	correctRun := 0
+	if allCorrect(opinions) {
+		correctRun = 1
+	}
+	absorbed := correctRun >= c.AbsorbWindow
+	absorbedAt := -1
+	if absorbed {
+		absorbedAt = 0
+	}
+
+	round := 0
+	for ; round < c.MaxRounds; round++ {
+		if c.FlipCorrectAt > 0 && round == c.FlipCorrectAt {
+			// The environment changed: sources switch to the new correct
+			// opinion and convergence is judged against it from here on.
+			correct = 1 - correct
+			for i := 0; i < c.Sources; i++ {
+				opinions[i] = correct
+			}
+			correctRun = 0
+			absorbed = false
+			absorbedAt = -1
+		}
+
+		x := float64(countOnes(opinions)) / float64(n)
+
+		var tables []roundTable
+		if c.Engine == EngineAgentFast {
+			tables = buildRoundTables(sampleSizes, observedFraction(x, c.NoiseEps))
+		}
+
+		for i := 0; i < n; i++ {
+			if isSource[i] {
+				next[i] = correct
+				continue
+			}
+			var obs Observation
+			switch c.Engine {
+			case EngineAgentFast:
+				obs = &fastObserver{x: observedFraction(x, c.NoiseEps), tables: tables, src: srcs[i]}
+			case EngineAgentExact:
+				obs = &exactObserver{opinions: opinions, src: srcs[i], noiseEps: c.NoiseEps}
+			default:
+				return Result{}, fmt.Errorf("sim: unknown engine %v", c.Engine)
+			}
+			next[i] = agents[i].Step(opinions[i], obs)
+			if next[i] > 1 {
+				return Result{}, fmt.Errorf("sim: protocol %q produced opinion %d", c.Protocol.Name(), next[i])
+			}
+		}
+		opinions, next = next, opinions
+
+		newX := float64(countOnes(opinions)) / float64(n)
+		if c.RecordTrajectory {
+			res.Trajectory = append(res.Trajectory, newX)
+		}
+
+		if allCorrect(opinions) {
+			correctRun++
+		} else {
+			correctRun = 0
+			absorbed = false
+			absorbedAt = -1
+		}
+		if !absorbed && correctRun >= c.AbsorbWindow {
+			absorbed = true
+			absorbedAt = round + 1 - correctRun + 1 // first round of the run
+		}
+
+		if c.OnRound != nil && !c.OnRound(round, newX) {
+			res.StoppedEarly = true
+			round++
+			break
+		}
+		pendingFlip := c.FlipCorrectAt > 0 && round < c.FlipCorrectAt
+		if absorbed && !c.RunToEnd && !pendingFlip {
+			round++
+			break
+		}
+	}
+
+	res.Rounds = round
+	res.FinalX = float64(countOnes(opinions)) / float64(n)
+	res.Converged = absorbed
+	if absorbed {
+		res.Round = absorbedAt
+	}
+	return res, nil
+}

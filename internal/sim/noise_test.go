@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"passivespread/internal/rng"
+)
+
+func newTestSource(seed uint64) *rng.Source { return rng.New(seed) }
+
+func TestNoiseValidation(t *testing.T) {
+	for _, eps := range []float64{-0.1, 0.5, 0.9} {
+		cfg := baseConfig()
+		cfg.NoiseEps = eps
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("NoiseEps = %v accepted", eps)
+		}
+	}
+	cfg := baseConfig()
+	cfg.FlipCorrectAt = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative FlipCorrectAt accepted")
+	}
+}
+
+func TestObservedFraction(t *testing.T) {
+	tests := []struct {
+		x, eps, want float64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 0.1, 0.1},
+		{1, 0.1, 0.9},
+		{0.5, 0.3, 0.5}, // symmetric point is invariant
+		{0.25, 0.2, 0.25*0.8 + 0.75*0.2},
+	}
+	for _, tc := range tests {
+		if got := observedFraction(tc.x, tc.eps); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("observedFraction(%v, %v) = %v, want %v", tc.x, tc.eps, got, tc.want)
+		}
+	}
+}
+
+func TestNoisyExactObserverFlipRate(t *testing.T) {
+	// All-ones population, eps = 0.2: samples must read 1 about 80% of
+	// the time.
+	opinions := make([]byte, 100)
+	for i := range opinions {
+		opinions[i] = 1
+	}
+	obs := &exactObserver{opinions: opinions, src: newTestSource(7), noiseEps: 0.2}
+	const trials = 100000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		ones += int(obs.Sample())
+	}
+	got := float64(ones) / trials
+	if math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("noisy sample rate %v, want ≈0.8", got)
+	}
+}
+
+func TestInfectUnderMildNoiseStillSpreads(t *testing.T) {
+	// One-way infection tolerates observation noise: extra false 1s only
+	// help, so convergence survives (this tests plumbing, not FET).
+	cfg := baseConfig()
+	cfg.NoiseEps = 0.05
+	cfg.MaxRounds = 300
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("infection under 5%% noise did not spread: %+v", res)
+	}
+}
+
+func TestNoiseEnginesAgreeOnEffectiveRate(t *testing.T) {
+	// Both engines must show the same effective observation rate: compare
+	// mean CountOnes under noise for a fixed population fraction.
+	const (
+		m      = 20
+		eps    = 0.15
+		trials = 40000
+	)
+	opinions := make([]byte, 200)
+	for i := 0; i < 60; i++ { // x = 0.3
+		opinions[i] = 1
+	}
+	exact := &exactObserver{opinions: opinions, src: newTestSource(1), noiseEps: eps}
+	fast := &fastObserver{x: observedFraction(0.3, eps), src: newTestSource(2)}
+	var sumExact, sumFast float64
+	for i := 0; i < trials; i++ {
+		sumExact += float64(exact.CountOnes(m))
+		sumFast += float64(fast.CountOnes(m))
+	}
+	meanExact := sumExact / trials
+	meanFast := sumFast / trials
+	want := float64(m) * observedFraction(0.3, eps)
+	if math.Abs(meanExact-want) > 0.1 {
+		t.Fatalf("exact noisy mean %v, want ≈%v", meanExact, want)
+	}
+	if math.Abs(meanFast-want) > 0.1 {
+		t.Fatalf("fast noisy mean %v, want ≈%v", meanFast, want)
+	}
+}
+
+func TestFlipCorrectMidRun(t *testing.T) {
+	// Infection toward 1 until round 40, then the environment flips to 0.
+	// Use a two-sided copy protocol so the population can follow the flip.
+	cfg := baseConfig()
+	cfg.Protocol = copyAnyProtocol{}
+	cfg.Init = allWrongInit{}
+	cfg.FlipCorrectAt = 40
+	cfg.MaxRounds = 4000
+	cfg.RecordTrajectory = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not re-converge after flip: %+v", res)
+	}
+	if res.Round < 40 {
+		t.Fatalf("convergence round %d precedes the flip", res.Round)
+	}
+	if res.FinalX != 0 {
+		t.Fatalf("final x = %v, want 0 (the new correct value)", res.FinalX)
+	}
+}
+
+// copyAnyProtocol copies the observed opinion unconditionally (voter) —
+// it can follow the source either way, unlike one-way infection.
+type copyAnyProtocol struct{}
+
+func (copyAnyProtocol) Name() string               { return "copy-any" }
+func (copyAnyProtocol) SampleSizes() []int         { return nil }
+func (copyAnyProtocol) NewAgent(*rng.Source) Agent { return copyAnyAgent{} }
+
+type copyAnyAgent struct{}
+
+func (copyAnyAgent) Step(_ byte, obs Observation) byte { return obs.Sample() }

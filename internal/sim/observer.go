@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"passivespread/internal/rng"
+)
+
+// exactObserver implements Observation by sampling agent indices uniformly
+// with replacement and reading their opinions — the operational definition
+// of the PULL model.
+type exactObserver struct {
+	opinions []byte
+	src      *rng.Source
+	// noiseEps flips each observed bit independently (0 = noiseless).
+	noiseEps float64
+}
+
+func (o *exactObserver) CountOnes(m int) int {
+	count := 0
+	for i := 0; i < m; i++ {
+		count += int(o.Sample())
+	}
+	return count
+}
+
+func (o *exactObserver) Sample() byte {
+	b := o.opinions[o.src.Intn(len(o.opinions))]
+	if o.noiseEps > 0 && o.src.Bernoulli(o.noiseEps) {
+		return 1 - b
+	}
+	return b
+}
+
+// observedFraction returns the effective probability that a single noisy
+// observation reads 1 when the true fraction of 1-opinions is x: each bit
+// flips independently with probability eps.
+func observedFraction(x, eps float64) float64 {
+	if eps <= 0 {
+		return x
+	}
+	return x*(1-eps) + (1-x)*eps
+}
+
+// fastObserver implements Observation by drawing counts directly from
+// Binomial(m, x_t): under passive communication, observing m uniform
+// agents with replacement reveals exactly a Binomial(m, x_t) count of
+// 1-opinions, so this is distributionally identical to exactObserver.
+type fastObserver struct {
+	x      float64 // current fraction of 1-opinions
+	tables []roundTable
+	src    *rng.Source
+}
+
+// roundTable caches one Binomial(m, x_t) inverse-CDF table for the round.
+type roundTable struct {
+	m   int
+	tab *rng.BinomialCDF
+}
+
+func (o *fastObserver) CountOnes(m int) int {
+	for _, t := range o.tables {
+		if t.m == m {
+			return t.tab.Sample(o.src)
+		}
+	}
+	// Sample size not pre-declared by the protocol: fall back to a direct
+	// draw, which is exact but slower.
+	return o.src.Binomial(m, o.x)
+}
+
+func (o *fastObserver) Sample() byte {
+	if o.src.Bernoulli(o.x) {
+		return OpinionOne
+	}
+	return OpinionZero
+}
+
+// buildRoundTables tabulates the binomial laws for the protocol's declared
+// sample sizes at the current opinion fraction.
+func buildRoundTables(sizes []int, x float64) []roundTable {
+	tables := make([]roundTable, 0, len(sizes))
+	for _, m := range sizes {
+		if m < 0 {
+			panic(fmt.Sprintf("sim: protocol declared negative sample size %d", m))
+		}
+		tables = append(tables, roundTable{m: m, tab: rng.NewBinomialCDF(m, x)})
+	}
+	return tables
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"passivespread/internal/rng"
+)
+
+// TestSourceImmutableUnderArbitraryProtocol: no protocol can ever change
+// a source's displayed opinion, whatever the agents output.
+func TestSourceImmutableUnderArbitraryProtocol(t *testing.T) {
+	f := func(seed uint16, flip bool) bool {
+		var proto Protocol = constProtocol{v: OpinionZero}
+		if flip {
+			proto = constProtocol{v: OpinionOne}
+		}
+		correct := OpinionOne
+		res, err := Run(Config{
+			N:         64,
+			Sources:   5,
+			Protocol:  proto,
+			Init:      allWrongInit{},
+			Correct:   correct,
+			Seed:      uint64(seed),
+			MaxRounds: 20,
+			RunToEnd:  true,
+		})
+		if err != nil {
+			return false
+		}
+		// Sources contribute at least 5/64 to x at every recorded point.
+		return res.FinalX >= 5.0/64-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbsorbWindowSemantics: with window w, a run is absorbed only after
+// w consecutive all-correct opinion vectors, and Round reports the first.
+func TestAbsorbWindowSemantics(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5} {
+		cfg := baseConfig()
+		cfg.AbsorbWindow = w
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("window %d: infection did not converge", w)
+		}
+		// The reported t_con must not depend on the window beyond the
+		// detection delay: larger windows only delay Rounds, not Round.
+		if res.Round < 0 || res.Round > res.Rounds {
+			t.Fatalf("window %d: inconsistent Round %d (Rounds %d)", w, res.Round, res.Rounds)
+		}
+	}
+}
+
+// TestTrajectoryMatchesOnRound: the OnRound callback and the recorded
+// trajectory must agree exactly.
+func TestTrajectoryMatchesOnRound(t *testing.T) {
+	var seen []float64
+	cfg := baseConfig()
+	cfg.RecordTrajectory = true
+	cfg.OnRound = func(_ int, x float64) bool {
+		seen = append(seen, x)
+		return true
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Trajectory)-1 {
+		t.Fatalf("OnRound saw %d values, trajectory has %d", len(seen), len(res.Trajectory))
+	}
+	for i, x := range seen {
+		if res.Trajectory[i+1] != x {
+			t.Fatalf("mismatch at round %d: callback %v, trajectory %v", i, x, res.Trajectory[i+1])
+		}
+	}
+}
+
+// TestFastEngineCountsWithinRange: whatever the protocol requests, fast
+// observer counts stay in [0, m].
+func TestFastEngineCountsWithinRange(t *testing.T) {
+	f := func(xr uint16, mRaw uint8) bool {
+		m := int(mRaw%64) + 1
+		x := float64(xr) / 65535
+		obs := &fastObserver{
+			x:      x,
+			tables: buildRoundTables([]int{m}, x),
+			src:    rng.New(uint64(xr) + 1),
+		}
+		for i := 0; i < 50; i++ {
+			c := obs.CountOnes(m)
+			if c < 0 || c > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildRoundTablesPanicsOnNegative guards the table builder.
+func TestBuildRoundTablesPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative sample size")
+		}
+	}()
+	buildRoundTables([]int{-1}, 0.5)
+}

@@ -1,0 +1,116 @@
+// Package sim implements the synchronous-round population simulator for
+// the PULL model with passive communication, as defined in Section 1.2 of
+// the paper.
+//
+// A population of n agents holds binary opinions. In every round each
+// non-source agent observes the opinions of uniformly random agents (with
+// replacement) and applies its protocol's update rule; source agents hold
+// the correct opinion forever. Because communication is passive, an
+// observation of m agents carries no information beyond the number of
+// 1-opinions among them — which is exactly a Binomial(m, x_t) variate,
+// where x_t is the current fraction of 1-opinions.
+//
+// The package offers two statistically identical engines:
+//
+//   - EngineAgentExact samples agent indices literally and reads their
+//     opinions (the model's operational definition);
+//   - EngineAgentFast draws each observation directly from a tabulated
+//     Binomial(m, x_t) law (the model's distributional definition).
+//
+// Tests cross-validate the two. A third, aggregate engine that simulates
+// only the (x_t, x_{t+1}) Markov chain of Observation 1 lives in
+// internal/markov.
+package sim
+
+import "passivespread/internal/rng"
+
+// Opinion values. Opinions are bytes restricted to {0, 1}.
+const (
+	OpinionZero byte = 0
+	OpinionOne  byte = 1
+)
+
+// Observation gives an agent access to its random observations for the
+// current round. Under passive communication the only extractable
+// information is opinion bits of uniformly sampled agents.
+type Observation interface {
+	// CountOnes observes m uniformly random agents (with replacement) and
+	// returns how many of them currently hold opinion 1.
+	CountOnes(m int) int
+	// Sample observes a single uniformly random agent and returns its
+	// opinion.
+	Sample() byte
+}
+
+// Agent is the per-agent update rule of a protocol. Step receives the
+// agent's current opinion and its observation access for the round, and
+// returns the opinion the agent will display next round.
+type Agent interface {
+	Step(cur byte, obs Observation) byte
+}
+
+// Protocol constructs per-agent update rules.
+type Protocol interface {
+	// Name identifies the protocol in results and tables.
+	Name() string
+	// SampleSizes lists the distinct CountOnes arguments the agents use
+	// each round, so the fast engine can pre-tabulate the binomial laws.
+	// Protocols that only call Sample may return nil.
+	SampleSizes() []int
+	// NewAgent returns a fresh agent rule drawing randomness from src.
+	NewAgent(src *rng.Source) Agent
+}
+
+// Initializer chooses the adversarial starting opinions of non-source
+// agents (the self-stabilizing setting allows any starting configuration).
+type Initializer interface {
+	// Name identifies the initial condition in results and tables.
+	Name() string
+	// Assign writes a starting opinion for every index of opinions whose
+	// isSource flag is false. Source entries are pre-set by the engine and
+	// must be left untouched.
+	Assign(opinions []byte, isSource []bool, src *rng.Source)
+}
+
+// StateCorruptible is implemented by agents whose internal memory can be
+// set adversarially before round 0. Self-stabilization demands correctness
+// from arbitrary internal states, so experiments exercising worst cases
+// corrupt agent memories through this hook.
+type StateCorruptible interface {
+	CorruptState(src *rng.Source)
+}
+
+// TrendSeeder is implemented by trend-following agents (FET and its
+// unpartitioned variant) whose stored previous-round count can be seeded.
+// Seeding every agent's count with an independent Binomial(ℓ, x0) draw
+// places the induced Markov chain exactly at (x_t, x_{t+1}) = (x0, ·),
+// which the domain experiments use to start the chain anywhere on the
+// grid G.
+type TrendSeeder interface {
+	SeedPrevCount(count int)
+}
+
+// EngineKind selects the observation implementation.
+type EngineKind int
+
+// Available engines.
+const (
+	// EngineAgentFast draws observations from tabulated binomial laws.
+	// It is the default: statistically identical to the exact engine and
+	// several times faster.
+	EngineAgentFast EngineKind = iota
+	// EngineAgentExact samples agent indices uniformly and reads opinions.
+	EngineAgentExact
+)
+
+// String returns the engine's name.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineAgentFast:
+		return "agent-fast"
+	case EngineAgentExact:
+		return "agent-exact"
+	default:
+		return "unknown"
+	}
+}

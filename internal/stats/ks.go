@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup |F_a − F_b| between the empirical CDFs of the two samples.
+// It panics on an empty sample.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KSStatistic of empty sample")
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		// Advance both sides past all copies of the smaller value; the
+		// CDF difference is only well-defined between distinct values
+		// (stepping one side at a time inflates D at ties).
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCriticalValue returns the asymptotic two-sample critical value at
+// significance alpha: c(α)·√((n+m)/(n·m)) with
+// c(α) = √(−ln(α/2)/2). Reject "same distribution" when the statistic
+// exceeds it. It panics unless 0 < alpha < 1.
+func KSCriticalValue(n, m int, alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: KSCriticalValue with alpha outside (0, 1)")
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n+m)/(float64(n)*float64(m)))
+}
+
+// KSSameDistribution reports whether the two samples pass the KS test at
+// significance alpha (i.e. the statistic does not exceed the critical
+// value — no evidence of different distributions).
+func KSSameDistribution(a, b []float64, alpha float64) bool {
+	return KSStatistic(a, b) <= KSCriticalValue(len(a), len(b), alpha)
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"testing"
+
+	"passivespread/internal/rng"
+)
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := KSStatistic(a, a); got != 0 {
+		t.Fatalf("identical samples D = %v, want 0", got)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if got := KSStatistic(a, b); got != 1 {
+		t.Fatalf("disjoint samples D = %v, want 1", got)
+	}
+}
+
+func TestKSStatisticSymmetric(t *testing.T) {
+	a := []float64{1, 3, 5, 7}
+	b := []float64{2, 3, 8}
+	if KSStatistic(a, b) != KSStatistic(b, a) {
+		t.Fatal("KS statistic not symmetric")
+	}
+}
+
+func TestKSStatisticPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KSStatistic(nil, []float64{1})
+}
+
+func TestKSSameDistributionAcceptsSameLaw(t *testing.T) {
+	src := rng.New(1)
+	rejections := 0
+	const repeats = 40
+	for r := 0; r < repeats; r++ {
+		a := make([]float64, 300)
+		b := make([]float64, 300)
+		for i := range a {
+			a[i] = src.Normal()
+			b[i] = src.Normal()
+		}
+		if !KSSameDistribution(a, b, 0.01) {
+			rejections++
+		}
+	}
+	// At α = 0.01 we expect ≈ 0.4 false rejections in 40 repeats.
+	if rejections > 3 {
+		t.Fatalf("%d/%d false rejections at α = 0.01", rejections, repeats)
+	}
+}
+
+func TestKSSameDistributionRejectsShiftedLaw(t *testing.T) {
+	src := rng.New(2)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = src.Normal()
+		b[i] = src.Normal() + 0.5 // half-σ shift
+	}
+	if KSSameDistribution(a, b, 0.05) {
+		t.Fatal("failed to reject a half-σ shift with n = 500")
+	}
+}
+
+func TestKSCriticalValueBehavior(t *testing.T) {
+	// Larger samples → smaller critical value; smaller α → larger.
+	if KSCriticalValue(100, 100, 0.05) <= KSCriticalValue(1000, 1000, 0.05) {
+		t.Fatal("critical value must shrink with sample size")
+	}
+	if KSCriticalValue(100, 100, 0.01) <= KSCriticalValue(100, 100, 0.1) {
+		t.Fatal("critical value must grow as α shrinks")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad alpha")
+		}
+	}()
+	KSCriticalValue(10, 10, 0)
+}

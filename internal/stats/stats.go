@@ -1,0 +1,240 @@
+// Package stats provides the statistical helpers used by the experiment
+// harness: summary statistics, quantiles, least-squares fits (including
+// the polylog-exponent fit used to check Theorem 1's scaling shape), and
+// bootstrap confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"passivespread/internal/rng"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Var, Std   float64
+	Min, Max         float64
+	Median, Q25, Q75 float64
+	P05, P95         float64
+	StdErr           float64 // standard error of the mean
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Var = ss / float64(s.N-1)
+	}
+	s.Std = math.Sqrt(s.Var)
+	s.StdErr = s.Std / math.Sqrt(float64(s.N))
+
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Q25 = quantileSorted(sorted, 0.25)
+	s.Q75 = quantileSorted(sorted, 0.75)
+	s.P05 = quantileSorted(sorted, 0.05)
+	s.P95 = quantileSorted(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-quantile of xs (linear interpolation between
+// order statistics). It panics on an empty sample or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: Quantile with q = %v", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean. It panics on an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty sample")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LinearFit is an ordinary least-squares line y = Intercept + Slope·x.
+type LinearFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// FitLine fits a least-squares line through (xs[i], ys[i]). It panics
+// when the inputs are mismatched or have fewer than two points, and
+// returns a degenerate fit (slope 0) when all xs coincide.
+func FitLine(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: FitLine with mismatched inputs")
+	}
+	if len(xs) < 2 {
+		panic("stats: FitLine needs at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	fit := LinearFit{}
+	if sxx == 0 {
+		fit.Intercept = my
+		return fit
+	}
+	fit.Slope = sxy / sxx
+	fit.Intercept = my - fit.Slope*mx
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range xs {
+			r := ys[i] - (fit.Intercept + fit.Slope*xs[i])
+			ssRes += r * r
+		}
+		fit.R2 = 1 - ssRes/syy
+	} else {
+		fit.R2 = 1
+	}
+	return fit
+}
+
+// PolylogFit reports the fit of t = a · (log n)^b obtained by regressing
+// log t on log log n. Exponent is b; Coefficient is a. This is the tool
+// used to verify Theorem 1's shape: the measured convergence times must
+// yield a small exponent (the paper's upper bound is b = 5/2), whereas a
+// polynomial-in-n running time would make the exponent diverge with the
+// sweep range.
+type PolylogFit struct {
+	Exponent, Coefficient float64
+	R2                    float64
+}
+
+// FitPolylog fits times[i] ≈ a·(ln ns[i])^b. All ns must be ≥ 3 and all
+// times positive.
+func FitPolylog(ns []int, times []float64) PolylogFit {
+	if len(ns) != len(times) {
+		panic("stats: FitPolylog with mismatched inputs")
+	}
+	xs := make([]float64, len(ns))
+	ys := make([]float64, len(times))
+	for i := range ns {
+		if ns[i] < 3 {
+			panic(fmt.Sprintf("stats: FitPolylog with n = %d", ns[i]))
+		}
+		if times[i] <= 0 {
+			panic(fmt.Sprintf("stats: FitPolylog with time = %v", times[i]))
+		}
+		xs[i] = math.Log(math.Log(float64(ns[i])))
+		ys[i] = math.Log(times[i])
+	}
+	line := FitLine(xs, ys)
+	return PolylogFit{
+		Exponent:    line.Slope,
+		Coefficient: math.Exp(line.Intercept),
+		R2:          line.R2,
+	}
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// statistic stat over xs, at the given confidence level (e.g. 0.95),
+// using resamples drawn from seed.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, resamples int, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: BootstrapCI of empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: BootstrapCI with level = %v", level))
+	}
+	if resamples < 2 {
+		panic(fmt.Sprintf("stats: BootstrapCI with resamples = %d", resamples))
+	}
+	src := rng.New(seed)
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[src.Intn(len(xs))]
+		}
+		vals[r] = stat(buf)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha)
+}
+
+// Histogram bins xs into k equal-width buckets over [min, max] and
+// returns the counts. Values on the top edge land in the last bucket.
+func Histogram(xs []float64, k int, min, max float64) []int {
+	if k < 1 {
+		panic(fmt.Sprintf("stats: Histogram with k = %d", k))
+	}
+	if !(max > min) {
+		panic("stats: Histogram with max ≤ min")
+	}
+	counts := make([]int, k)
+	w := (max - min) / float64(k)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		b := int((x - min) / w)
+		if b >= k {
+			b = k - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

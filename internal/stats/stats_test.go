@@ -1,0 +1,308 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"passivespread/internal/rng"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Var-2.5) > 1e-12 { // sample variance
+		t.Fatalf("Var = %v, want 2.5", s.Var)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if math.Abs(s.StdErr-math.Sqrt(2.5/5)) > 1e-12 {
+		t.Fatalf("StdErr = %v", s.StdErr)
+	}
+	if s.Q25 != 2 || s.Q75 != 4 {
+		t.Fatalf("quartiles %v %v", s.Q25, s.Q75)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Var != 0 || s.Median != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 4 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(q=%v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile(empty) did not panic")
+			}
+		}()
+		Quantile(nil, 0.5)
+	}()
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	src := rng.New(1)
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed))
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = s.Float64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			v := Quantile(xs, math.Min(q, 1))
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	_ = src
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Fatalf("Mean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean(empty) did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit := FitLine(xs, ys)
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	src := rng.New(3)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = 5 - 0.7*xs[i] + 0.1*src.Normal()
+	}
+	fit := FitLine(xs, ys)
+	if math.Abs(fit.Slope+0.7) > 0.02 {
+		t.Fatalf("slope = %v, want ≈ -0.7", fit.Slope)
+	}
+	if fit.R2 < 0.98 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	fit := FitLine([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if fit.Slope != 0 || fit.Intercept != 5 {
+		t.Fatalf("degenerate fit %+v", fit)
+	}
+}
+
+func TestFitLinePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched inputs")
+			}
+		}()
+		FitLine([]float64{1, 2}, []float64{1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("single point")
+			}
+		}()
+		FitLine([]float64{1}, []float64{1})
+	}()
+}
+
+func TestFitPolylogRecoversExponent(t *testing.T) {
+	// Generate t = 3·(ln n)^2.5 exactly and recover the exponent.
+	ns := []int{256, 1024, 4096, 16384, 65536, 262144}
+	times := make([]float64, len(ns))
+	for i, n := range ns {
+		times[i] = 3 * math.Pow(math.Log(float64(n)), 2.5)
+	}
+	fit := FitPolylog(ns, times)
+	if math.Abs(fit.Exponent-2.5) > 1e-9 {
+		t.Fatalf("exponent = %v, want 2.5", fit.Exponent)
+	}
+	if math.Abs(fit.Coefficient-3) > 1e-6 {
+		t.Fatalf("coefficient = %v, want 3", fit.Coefficient)
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitPolylogDistinguishesPolynomial(t *testing.T) {
+	// A genuinely polynomial time t = n must produce a very large
+	// "exponent" over this range — the shape check Theorem 1 relies on.
+	ns := []int{256, 1024, 4096, 16384, 65536}
+	times := make([]float64, len(ns))
+	for i, n := range ns {
+		times[i] = float64(n)
+	}
+	fit := FitPolylog(ns, times)
+	if fit.Exponent < 6 {
+		t.Fatalf("polynomial data fit exponent %v, expected ≫ 2.5", fit.Exponent)
+	}
+}
+
+func TestFitPolylogPanics(t *testing.T) {
+	cases := []struct {
+		ns    []int
+		times []float64
+	}{
+		{[]int{10}, []float64{1, 2}},
+		{[]int{2, 10}, []float64{1, 2}},
+		{[]int{10, 20}, []float64{0, 2}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FitPolylog(%v, %v) did not panic", tc.ns, tc.times)
+				}
+			}()
+			FitPolylog(tc.ns, tc.times)
+		}()
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	src := rng.New(5)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + src.Normal()
+	}
+	lo, hi := BootstrapCI(xs, Mean, 0.95, 500, 7)
+	if lo > 10 || hi < 10 {
+		t.Fatalf("95%% CI [%v, %v] misses the true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI [%v, %v] too wide for n=400", lo, hi)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIPanics(t *testing.T) {
+	cases := []func(){
+		func() { BootstrapCI(nil, Mean, 0.95, 100, 1) },
+		func() { BootstrapCI([]float64{1}, Mean, 0, 100, 1) },
+		func() { BootstrapCI([]float64{1}, Mean, 1, 100, 1) },
+		func() { BootstrapCI([]float64{1}, Mean, 0.95, 1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	lo1, hi1 := BootstrapCI(xs, Mean, 0.9, 200, 42)
+	lo2, hi2 := BootstrapCI(xs, Mean, 0.9, 200, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("same-seed bootstrap differs")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.5, 0.9, 1.0, -5, 7}
+	counts := Histogram(xs, 2, 0, 1)
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Fatalf("counts %v", counts) // -5 and 7 out of range; 1.0 in last bucket
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("k=0")
+			}
+		}()
+		Histogram([]float64{1}, 0, 0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("max ≤ min")
+			}
+		}()
+		Histogram([]float64{1}, 3, 1, 1)
+	}()
+}

@@ -1,0 +1,96 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("n", "rounds", "note")
+	t.AddRow(1024, 33.5, "ok")
+	t.AddRow(65536, 61, "w.h.p.")
+	return t
+}
+
+func TestString(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "n ") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "33.5") || !strings.Contains(lines[3], "65536") {
+		t.Fatalf("rows:\n%s", out)
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Fatalf("trailing whitespace in %q", l)
+		}
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tab := New("a", "b")
+	tab.AddRow("x", "y")
+	tab.AddRow("longer", "z")
+	lines := strings.Split(strings.TrimRight(tab.String(), "\n"), "\n")
+	// Column b must start at the same offset in all full rows.
+	idx := strings.Index(lines[2], "y")
+	if strings.Index(lines[3], "z") != idx {
+		t.Fatalf("misaligned columns:\n%s", tab.String())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.HasPrefix(out, "| n | rounds | note |\n| --- | --- | --- |\n") {
+		t.Fatalf("markdown header:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1024 | 33.5 | ok |") {
+		t.Fatalf("markdown row:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("a", "b")
+	tab.AddRow(`comma,here`, `quote"here`)
+	tab.AddRow(1, 2)
+	out := tab.CSV()
+	want := "a,b\n\"comma,here\",\"quote\"\"here\"\n1,2\n"
+	if out != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", out, want)
+	}
+}
+
+func TestRowPaddingAndTruncation(t *testing.T) {
+	tab := New("a", "b")
+	tab.AddRow(1)          // short row padded
+	tab.AddRow(1, 2, 3, 4) // long row truncated
+	out := tab.String()
+	if strings.Contains(out, "3") || strings.Contains(out, "4") {
+		t.Fatalf("extra cells leaked:\n%s", out)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if got := formatCell(3.0); got != "3" {
+		t.Fatalf("whole float: %q", got)
+	}
+	if got := formatCell(float32(2.5)); got != "2.5" {
+		t.Fatalf("float32: %q", got)
+	}
+	if got := formatCell(0.123456); got != "0.1235" {
+		t.Fatalf("small float: %q", got)
+	}
+	if got := formatCell("s"); got != "s" {
+		t.Fatalf("string: %q", got)
+	}
+}

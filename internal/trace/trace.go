@@ -1,0 +1,129 @@
+// Package trace records domain-annotated trajectories of the FET
+// dynamics: for every round it captures the state (x_t, x_{t+1}), its
+// Figure 1a domain, its speed, and — inside the Yellow′ box — its
+// Figure 2 area. A trace is the observable counterpart of the proof's
+// path through the state space (Figure 1b), and powers both the fettrace
+// CLI and path-level integration tests.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"passivespread/internal/domain"
+)
+
+// Point is one annotated round of a trajectory.
+type Point struct {
+	// Round is the round index (0 = initial configuration).
+	Round int
+	// X0, X1 are the state coordinates (x_t, x_{t+1}).
+	X0, X1 float64
+	// Kind is the Figure 1a domain of the state.
+	Kind domain.Kind
+	// Area is the Figure 2 sub-area (AreaOutside when not in Yellow′).
+	Area domain.Area
+	// Speed is |x_{t+1} − x_t|.
+	Speed float64
+}
+
+// Trace is a recorded, annotated trajectory.
+type Trace struct {
+	// Params is the domain geometry used for annotation.
+	Params domain.Params
+	// Points holds the annotated rounds in order.
+	Points []Point
+}
+
+// FromTrajectory annotates a raw x_t series (as produced by the
+// simulation engines) given the emulated pre-round fraction x0 (use the
+// first trajectory value for a plain run, or the seeded grid coordinate
+// for GridStart runs).
+func FromTrajectory(p domain.Params, x0 float64, xs []float64) *Trace {
+	tr := &Trace{Params: p, Points: make([]Point, 0, len(xs))}
+	prev := x0
+	for i, x := range xs {
+		tr.Points = append(tr.Points, Point{
+			Round: i,
+			X0:    prev,
+			X1:    x,
+			Kind:  p.Classify(prev, x),
+			Area:  p.ClassifyYellow(prev, x),
+			Speed: domain.Speed(prev, x),
+		})
+		prev = x
+	}
+	return tr
+}
+
+// Len returns the number of annotated rounds.
+func (t *Trace) Len() int { return len(t.Points) }
+
+// KindSequence returns the run-length-compressed sequence of domains
+// visited, e.g. [Cyan1 Green1 Cyan0] for the canonical all-wrong bounce.
+func (t *Trace) KindSequence() []domain.Kind {
+	var seq []domain.Kind
+	for _, pt := range t.Points {
+		if len(seq) == 0 || seq[len(seq)-1] != pt.Kind {
+			seq = append(seq, pt.Kind)
+		}
+	}
+	return seq
+}
+
+// Visits returns the number of rounds spent in each domain.
+func (t *Trace) Visits() map[domain.Kind]int {
+	visits := make(map[domain.Kind]int)
+	for _, pt := range t.Points {
+		visits[pt.Kind]++
+	}
+	return visits
+}
+
+// MaxSpeed returns the largest observed speed.
+func (t *Trace) MaxSpeed() float64 {
+	max := 0.0
+	for _, pt := range t.Points {
+		if pt.Speed > max {
+			max = pt.Speed
+		}
+	}
+	return max
+}
+
+// Contains reports whether the trace ever visits the given domain.
+func (t *Trace) Contains(k domain.Kind) bool {
+	for _, pt := range t.Points {
+		if pt.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// CSV renders the trace as CSV with a header row.
+func (t *Trace) CSV() string {
+	var b strings.Builder
+	b.WriteString("round,x_t,x_t1,domain,area,speed\n")
+	for _, pt := range t.Points {
+		fmt.Fprintf(&b, "%d,%.6f,%.6f,%s,%s,%.6f\n",
+			pt.Round, pt.X0, pt.X1, pt.Kind, pt.Area, pt.Speed)
+	}
+	return b.String()
+}
+
+// String renders a human-readable table of the trace.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s  %8s  %8s  %-8s  %-7s  %7s\n",
+		"round", "x_t", "x_{t+1}", "domain", "area", "speed")
+	for _, pt := range t.Points {
+		area := ""
+		if pt.Area != domain.AreaOutside {
+			area = pt.Area.String()
+		}
+		fmt.Fprintf(&b, "%5d  %8.4f  %8.4f  %-8s  %-7s  %7.4f\n",
+			pt.Round, pt.X0, pt.X1, pt.Kind, area, pt.Speed)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+// Package passivespread is a reproduction of "Early Adapting to Trends:
+// Self-Stabilizing Information Spread using Passive Communication"
+// (Korman and Vacus, PODC 2022, arXiv:2203.11522).
+//
+// It provides the Follow the Emerging Trend (FET) protocol for the
+// self-stabilizing bit-dissemination problem in the PULL model with
+// passive communication, simulation engines at agent level and at the
+// level of the induced Markov chain, the paper's baselines, the
+// state-space geometry of its analysis, and a harness that reproduces
+// every figure and lemma-level claim (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Quickstart
+//
+//	res, err := passivespread.Disseminate(passivespread.Options{
+//		N:    1024,
+//		Seed: 1,
+//	})
+//	// res.Round is the paper's t_con: the first round of the final
+//	// all-correct run.
+//
+// For full control use Run with a sim.Config-compatible Config, compose
+// protocols and initializers directly, or drive the Markov chain with
+// NewChain for populations far beyond agent-level reach.
+package passivespread
+
+import (
+	"math"
+
+	"passivespread/internal/adversary"
+	"passivespread/internal/core"
+	"passivespread/internal/experiment"
+	"passivespread/internal/markov"
+	"passivespread/internal/sim"
+)
+
+// Re-exported simulation types. The aliases expose the full engine API at
+// the module root so downstream users never import internal packages.
+type (
+	// Config describes one agent-level simulation run; see the field docs
+	// on the underlying type.
+	Config = sim.Config
+	// Result reports a simulation outcome; Result.Round is t_con.
+	Result = sim.Result
+	// Protocol is a per-agent update rule factory.
+	Protocol = sim.Protocol
+	// Agent is a per-agent update rule.
+	Agent = sim.Agent
+	// Observation is an agent's random-sampling access within a round.
+	Observation = sim.Observation
+	// Initializer chooses adversarial starting opinions.
+	Initializer = sim.Initializer
+	// EngineKind selects the observation engine.
+	EngineKind = sim.EngineKind
+)
+
+// Opinion constants and engine kinds.
+const (
+	OpinionZero = sim.OpinionZero
+	OpinionOne  = sim.OpinionOne
+
+	// EngineAgentFast draws observations from tabulated binomial laws
+	// (default, statistically identical to exact).
+	EngineAgentFast = sim.EngineAgentFast
+	// EngineAgentExact samples agent indices literally.
+	EngineAgentExact = sim.EngineAgentExact
+)
+
+// Run executes an agent-level simulation. It is the low-level entry
+// point; Disseminate covers the common case.
+func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+
+// NewFET returns the paper's Protocol 1 with per-half sample size ell
+// (2·ell observations per agent per round).
+func NewFET(ell int) Protocol { return core.NewFET(ell) }
+
+// NewSimpleTrend returns the unpartitioned trend-following variant from
+// Section 1.3 (single count per round, reused for both comparisons).
+func NewSimpleTrend(ell int) Protocol { return core.NewSimpleTrend(ell) }
+
+// SampleSize returns the default ℓ = ⌈3·log₂ n⌉ used across the
+// reproduction. Use core-specific constructors for other constants.
+func SampleSize(n int) int { return core.SampleSize(n, core.DefaultC) }
+
+// Initializers for the adversarial starting configurations.
+
+// AllWrong starts every non-source agent on the opinion opposite to
+// correct.
+func AllWrong(correct byte) Initializer { return adversary.AllWrong{Correct: correct} }
+
+// UniformInit starts each non-source agent on an independent fair coin.
+func UniformInit() Initializer { return adversary.Uniform{} }
+
+// FractionInit starts with an exact fraction x of 1-opinions.
+func FractionInit(x float64) Initializer { return adversary.Fraction{X: x} }
+
+// Options configures Disseminate, the one-call FET runner.
+type Options struct {
+	// N is the population size including the source (required, ≥ 2).
+	N int
+	// Seed is the root randomness seed.
+	Seed uint64
+	// CorrectZero makes the correct opinion 0 instead of the default 1.
+	// (The problem is symmetric; a boolean keeps the zero value useful.)
+	CorrectZero bool
+	// Ell overrides the per-half sample size (default ⌈3·log₂ N⌉).
+	Ell int
+	// Sources is the number of agreeing sources (default 1).
+	Sources int
+	// Init overrides the starting configuration (default all-wrong with
+	// adversarially corrupted internal counters — the hard case).
+	Init Initializer
+	// MaxRounds overrides the round cap (default 400·log₂ N).
+	MaxRounds int
+	// RecordTrajectory stores x_t per round in the result.
+	RecordTrajectory bool
+}
+
+// Disseminate runs FET end-to-end under the worst-case defaults and
+// returns the simulation result.
+func Disseminate(opts Options) (Result, error) {
+	correct := OpinionOne
+	if opts.CorrectZero {
+		correct = OpinionZero
+	}
+	ell := opts.Ell
+	if ell == 0 {
+		ell = SampleSize(opts.N)
+	}
+	init := opts.Init
+	if init == nil {
+		init = AllWrong(correct)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 && opts.N >= 2 {
+		maxRounds = 400 * int(math.Ceil(math.Log2(float64(opts.N))))
+	}
+	return sim.Run(sim.Config{
+		N:                opts.N,
+		Sources:          opts.Sources,
+		Correct:          correct,
+		Protocol:         core.NewFET(ell),
+		Init:             init,
+		Seed:             opts.Seed,
+		MaxRounds:        maxRounds,
+		CorruptStates:    true,
+		RecordTrajectory: opts.RecordTrajectory,
+	})
+}
+
+// Chain is the aggregate Markov-chain engine (Observation 1): it
+// simulates only the opinion-count process and scales to populations of
+// 10⁹ and beyond.
+type Chain = markov.Chain
+
+// ChainState is a point (K_t, K_{t+1}) of the chain.
+type ChainState = markov.State
+
+// NewChain returns a Chain for population n with per-half sample size
+// ell, seeded deterministically.
+func NewChain(n, ell int, seed uint64) *Chain { return markov.New(n, ell, seed) }
+
+// Experiment metadata and execution, re-exported from the harness.
+type (
+	// Experiment is a registered reproduction experiment (E01–E18).
+	Experiment = experiment.Experiment
+	// ExperimentConfig controls an experiment run.
+	ExperimentConfig = experiment.Config
+	// ExperimentReport is an experiment's structured output.
+	ExperimentReport = experiment.Report
+)
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment { return experiment.All() }
+
+// LookupExperiment returns the experiment with the given ID ("E01"…).
+func LookupExperiment(id string) (Experiment, bool) { return experiment.Lookup(id) }

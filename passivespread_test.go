@@ -1,0 +1,125 @@
+package passivespread
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDisseminateDefaults(t *testing.T) {
+	res, err := Disseminate(Options{N: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("default FET run did not converge: %+v", res)
+	}
+	if res.FinalX != 1 {
+		t.Fatalf("final x = %v", res.FinalX)
+	}
+}
+
+func TestDisseminateCorrectZero(t *testing.T) {
+	res, err := Disseminate(Options{N: 512, Seed: 2, CorrectZero: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.FinalX != 0 {
+		t.Fatalf("zero-side run: %+v", res)
+	}
+}
+
+func TestDisseminateOverrides(t *testing.T) {
+	res, err := Disseminate(Options{
+		N:                256,
+		Seed:             3,
+		Ell:              SampleSize(256) * 2,
+		Sources:          4,
+		Init:             FractionInit(0.5),
+		MaxRounds:        5000,
+		RecordTrajectory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("override run did not converge: %+v", res)
+	}
+	if len(res.Trajectory) == 0 {
+		t.Fatal("trajectory not recorded")
+	}
+}
+
+func TestDisseminateInvalidN(t *testing.T) {
+	if _, err := Disseminate(Options{N: 1, Seed: 1}); err == nil {
+		t.Fatal("expected error for N = 1")
+	}
+}
+
+func TestRunWithExplicitConfig(t *testing.T) {
+	res, err := Run(Config{
+		N:         256,
+		Protocol:  NewSimpleTrend(SampleSize(256)),
+		Init:      UniformInit(),
+		Correct:   OpinionOne,
+		Seed:      5,
+		MaxRounds: 10000,
+		Engine:    EngineAgentExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("SimpleTrend did not converge: %+v", res)
+	}
+}
+
+func TestSampleSizeDefault(t *testing.T) {
+	if got := SampleSize(1024); got != 30 {
+		t.Fatalf("SampleSize(1024) = %d, want 30", got)
+	}
+}
+
+func TestInitializersExported(t *testing.T) {
+	if AllWrong(OpinionOne).Name() != "all-wrong" {
+		t.Fatal("AllWrong")
+	}
+	if UniformInit().Name() != "uniform" {
+		t.Fatal("UniformInit")
+	}
+	if FractionInit(0.25).Name() == "" {
+		t.Fatal("FractionInit")
+	}
+}
+
+func TestNewChainQuick(t *testing.T) {
+	n := 1 << 20
+	c := NewChain(n, SampleSize(n), 7)
+	rounds, ok := c.HittingTime(c.StateAt(0, 0), 100000)
+	if !ok {
+		t.Fatal("chain did not converge")
+	}
+	// Sanity: convergence within a small multiple of log^{5/2} n.
+	bound := 20 * math.Pow(math.Log(float64(n)), 2.5)
+	if float64(rounds) > bound {
+		t.Fatalf("chain took %d rounds (> %v)", rounds, bound)
+	}
+}
+
+func TestExperimentRegistryExported(t *testing.T) {
+	all := Experiments()
+	if len(all) != 22 {
+		t.Fatalf("%d experiments", len(all))
+	}
+	if _, ok := LookupExperiment("E17"); !ok {
+		t.Fatal("E17 missing")
+	}
+	// Run the cheapest experiment end-to-end through the public API.
+	e, _ := LookupExperiment("E17")
+	rep, err := e.Run(ExperimentConfig{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "E17" || len(rep.Sections) == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
