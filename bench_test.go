@@ -100,6 +100,71 @@ func BenchmarkFETRoundByN(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRound compares the per-round cost of the sequential
+// fast engine, the sharded parallel engine, and the aggregate occupancy
+// engine at n ∈ {10⁴, 10⁶}. Recorded results live in BENCH_engines.json.
+func BenchmarkEngineRound(b *testing.B) {
+	engines := []struct {
+		name string
+		kind EngineKind
+	}{
+		{"fast", EngineAgentFast},
+		{"parallel", EngineAgentParallel},
+		{"aggregate", EngineAggregate},
+	}
+	for _, n := range []int{10_000, 1_000_000} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("n=%d/%s", n, eng.name), func(b *testing.B) {
+				ell := SampleSize(n)
+				res, err := Run(Config{
+					N:         n,
+					Protocol:  NewFET(ell),
+					Init:      FractionInit(0.5),
+					Correct:   OpinionOne,
+					Engine:    eng.kind,
+					Seed:      1,
+					MaxRounds: b.N,
+					RunToEnd:  true,
+					OnRound: func(round int, _ float64) bool {
+						if round == 0 {
+							// Exclude the O(n) population construction from
+							// the per-round measurement (the aggregate
+							// engine's setup is O(ℓ), which would otherwise
+							// skew the comparison in its favor even further).
+							b.ResetTimer()
+						}
+						return true
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+				b.ReportMetric(float64(n), "agents/round")
+			})
+		}
+	}
+}
+
+// BenchmarkAggregateWorstCase measures a complete worst-case
+// dissemination (all-wrong start, corrupted memories) at n = 10⁸ on the
+// occupancy engine — the run that is out of reach for the agent engines.
+func BenchmarkAggregateWorstCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Disseminate(Options{
+			N:      100_000_000,
+			Seed:   uint64(i) + 1,
+			Engine: EngineAggregate,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
 // BenchmarkChainStep measures one aggregate-chain step at n = 10^9: the
 // O(ℓ) exact-probability path plus two BTRS binomial draws.
 func BenchmarkChainStep(b *testing.B) {

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	fetsim -n 1024 [-protocol fet] [-init all-wrong] [-seed 1] [-trajectory]
+//	fetsim -n 100000000 -engine aggregate
+//	fetsim -n 1000000 -engine parallel [-workers 8]
 package main
 
 import (
@@ -29,7 +31,8 @@ func main() {
 		sources  = flag.Int("sources", 1, "number of agreeing sources")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		rounds   = flag.Int("rounds", 0, "round cap (0 = 400·log₂ n)")
-		engine   = flag.String("engine", "fast", "engine: fast or exact")
+		engine   = flag.String("engine", "fast", "engine: fast, exact, parallel or aggregate")
+		workers  = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
 		traj     = flag.Bool("trajectory", false, "print x_t per round")
 	)
 	flag.Parse()
@@ -70,10 +73,8 @@ func main() {
 		maxRounds = 400 * log2ceil(*n)
 	}
 
-	engineKind := sim.EngineAgentFast
-	if *engine == "exact" {
-		engineKind = sim.EngineAgentExact
-	} else if *engine != "fast" {
+	engineKind, err := sim.ParseEngineKind(*engine)
+	if err != nil {
 		fatalf("unknown engine %q", *engine)
 	}
 
@@ -86,6 +87,7 @@ func main() {
 		Seed:             *seed,
 		MaxRounds:        maxRounds,
 		Engine:           engineKind,
+		Parallelism:      *workers,
 		CorruptStates:    true,
 		RecordTrajectory: *traj,
 	})

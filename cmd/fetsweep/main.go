@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	fetsweep [-ns 256,1024,4096,16384] [-trials 40] [-chain] [-seed 42]
+//	fetsweep [-ns 256,1024,4096,16384] [-trials 40] [-engine fast] [-seed 42]
 //
-// With -chain the aggregate Markov-chain engine is used, which scales to
-// populations of hundreds of millions.
+// -engine selects the executor: fast (sequential agent engine), parallel
+// (sharded agent engine), aggregate (occupancy-vector engine), or chain
+// (the (K_t, K_{t+1}) Markov chain). aggregate and chain scale to
+// populations of hundreds of millions; -chain is kept as an alias.
 package main
 
 import (
@@ -27,13 +29,34 @@ import (
 
 func main() {
 	var (
-		nsFlag = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
-		trials = flag.Int("trials", 40, "trials per population size")
-		chain  = flag.Bool("chain", false, "use the aggregate Markov-chain engine")
-		seed   = flag.Uint64("seed", 42, "root random seed")
-		c      = flag.Float64("c", core.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
+		nsFlag  = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
+		trials  = flag.Int("trials", 40, "trials per population size")
+		engine  = flag.String("engine", "fast", "engine: fast, parallel, aggregate or chain")
+		chain   = flag.Bool("chain", false, "alias for -engine chain")
+		workers = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 42, "root random seed")
+		c       = flag.Float64("c", core.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
 	)
 	flag.Parse()
+
+	if *chain {
+		engineSet := false
+		flag.Visit(func(f *flag.Flag) { engineSet = engineSet || f.Name == "engine" })
+		if engineSet && *engine != "chain" {
+			fmt.Fprintf(os.Stderr, "-chain conflicts with -engine %s\n", *engine)
+			os.Exit(2)
+		}
+		*engine = "chain"
+	}
+	var engineKind sim.EngineKind
+	if *engine != "chain" { // the chain engine simulates (K_t, K_{t+1}) separately below
+		var err error
+		engineKind, err = sim.ParseEngineKind(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+			os.Exit(2)
+		}
+	}
 
 	ns, err := parseNs(*nsFlag)
 	if err != nil {
@@ -49,7 +72,7 @@ func main() {
 		times := make([]float64, *trials)
 		for trial := range times {
 			trialSeed := *seed ^ uint64(n)<<20 ^ uint64(trial)
-			if *chain {
+			if *engine == "chain" {
 				ch := markov.New(n, ell, trialSeed)
 				rounds, ok := ch.HittingTime(ch.StateAt(0, 0), cap)
 				if !ok {
@@ -63,6 +86,8 @@ func main() {
 				Protocol:      core.NewFET(ell),
 				Init:          adversary.AllWrong{Correct: sim.OpinionOne},
 				Correct:       sim.OpinionOne,
+				Engine:        engineKind,
+				Parallelism:   *workers,
 				Seed:          trialSeed,
 				MaxRounds:     cap,
 				CorruptStates: true,
@@ -82,11 +107,11 @@ func main() {
 		medians = append(medians, s.Median)
 	}
 
-	engine := "agent-fast"
-	if *chain {
-		engine = "aggregate-chain"
+	engineName := engineKind.String()
+	if *engine == "chain" {
+		engineName = "markov-chain"
 	}
-	fmt.Printf("FET convergence sweep (engine %s, all-wrong start, ℓ = ⌈%g·log₂n⌉)\n\n", engine, *c)
+	fmt.Printf("FET convergence sweep (engine %s, all-wrong start, ℓ = ⌈%g·log₂n⌉)\n\n", engineName, *c)
 	fmt.Print(tab.String())
 	if len(ns) >= 2 {
 		fit := stats.FitPolylog(ns, medians)

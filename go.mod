@@ -1,0 +1,3 @@
+module passivespread
+
+go 1.24

@@ -88,11 +88,7 @@ func (f Fraction) Name() string { return fmt.Sprintf("fraction(%.4f)", f.X) }
 
 // Assign implements sim.Initializer.
 func (f Fraction) Assign(opinions []byte, isSource []bool, src *rng.Source) {
-	if f.X < 0 || f.X > 1 || math.IsNaN(f.X) {
-		panic(fmt.Sprintf("adversary: Fraction with X = %v", f.X))
-	}
 	n := len(opinions)
-	target := int(math.Round(f.X * float64(n)))
 
 	// Count the 1s already fixed by the sources and collect the free slots.
 	fixedOnes := 0
@@ -104,13 +100,9 @@ func (f Fraction) Assign(opinions []byte, isSource []bool, src *rng.Source) {
 			free = append(free, i)
 		}
 	}
-	need := target - fixedOnes
-	if need < 0 {
-		need = 0
-	}
-	if need > len(free) {
-		need = len(free)
-	}
+	// One copy of the target arithmetic: the aggregate form is the source
+	// of truth, so the two initialization paths cannot drift apart.
+	need := f.AggregateOnes(n, len(free), fixedOnes, src)
 	src.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
 	for k, idx := range free {
 		if k < need {
@@ -123,6 +115,52 @@ func (f Fraction) Assign(opinions []byte, isSource []bool, src *rng.Source) {
 
 // HalfSplit is the maximally undecided start: an exact 50/50 split.
 func HalfSplit() Fraction { return Fraction{X: 0.5} }
+
+// Aggregate forms of the stock initializers, so the occupancy engine can
+// start at populations where a per-agent opinion array is not affordable.
+// Each returns the same distribution over initial 1-counts as the
+// corresponding Assign (though not the same per-seed draws: the aggregate
+// engine is a distributional, not bitwise, twin of the agent engines).
+
+var (
+	_ sim.AggregateInitializer = AllWrong{}
+	_ sim.AggregateInitializer = AllCorrect{}
+	_ sim.AggregateInitializer = Uniform{}
+	_ sim.AggregateInitializer = Fraction{}
+)
+
+// AggregateOnes implements sim.AggregateInitializer.
+func (a AllWrong) AggregateOnes(_, nonSources, _ int, _ *rng.Source) int {
+	if a.Correct == sim.OpinionZero {
+		return nonSources // everyone starts on the wrong opinion, 1
+	}
+	return 0
+}
+
+// AggregateOnes implements sim.AggregateInitializer.
+func (a AllCorrect) AggregateOnes(_, nonSources, _ int, _ *rng.Source) int {
+	return int(a.Correct) * nonSources
+}
+
+// AggregateOnes implements sim.AggregateInitializer.
+func (Uniform) AggregateOnes(_, nonSources, _ int, src *rng.Source) int {
+	return src.Binomial(nonSources, 0.5)
+}
+
+// AggregateOnes implements sim.AggregateInitializer.
+func (f Fraction) AggregateOnes(n, nonSources, sourceOnes int, _ *rng.Source) int {
+	if f.X < 0 || f.X > 1 || math.IsNaN(f.X) {
+		panic(fmt.Sprintf("adversary: Fraction with X = %v", f.X))
+	}
+	need := int(math.Round(f.X*float64(n))) - sourceOnes
+	if need < 0 {
+		need = 0
+	}
+	if need > nonSources {
+		need = nonSources
+	}
+	return need
+}
 
 // SeedTrendState returns a sim.Config.StateInit hook that seeds every
 // trend-following agent's stored count with an independent

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"passivespread/internal/dist"
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+)
+
+// Aggregate (occupancy-vector) support for the trend protocols: both FET
+// and SimpleTrend carry exactly one small-integer state — the stored count
+// in {0, …, ℓ} — and their round update depends only on (opinion, stored
+// count) and the round's observation law B(ℓ, x_t). The whole population
+// therefore advances as counts per (opinion, state), with per-round cost
+// independent of n.
+
+var (
+	_ sim.AggregateProtocol = (*FET)(nil)
+	_ sim.AggregateProtocol = (*SimpleTrend)(nil)
+)
+
+// AggregateStates implements sim.AggregateProtocol: the stored count″
+// ranges over {0, …, ℓ}.
+func (f *FET) AggregateStates() int { return f.ell + 1 }
+
+// StepOccupancy implements sim.AggregateProtocol.
+//
+// Per agent, FET draws two independent B(ℓ, x) counts: count′ decides the
+// next opinion against the stored count″_{t−1} (greater → 1, smaller → 0,
+// tie → keep), and a fresh count″ becomes the next state. Because count″
+// is independent of the comparison, the occupancy update factorizes: each
+// (opinion, state) group splits trinomially by the comparison outcome,
+// and the next states are a fresh B(ℓ, x) multinomial per new opinion
+// class — O(ℓ) binomial draws per round in total.
+func (f *FET) StepOccupancy(occ, next *sim.Occupancy, xObs float64, src *rng.Source) {
+	pmf := dist.PMFVector(f.ell, xObs)
+
+	var newOnes, newZeros int
+	cumBelow := 0.0 // P(B < s), updated as s sweeps upward
+	for s := 0; s <= f.ell; s++ {
+		pEq := pmf[s]
+		pLeq := cumBelow + pEq
+		pGt := 1 - pLeq
+		if pGt < 0 {
+			pGt = 0
+		}
+		for o := 0; o < 2; o++ {
+			m := occ.Counts[o][s]
+			if m == 0 {
+				continue
+			}
+			// Trinomial split by conditional binomials: winners adopt 1,
+			// ties keep o, the rest adopt 0.
+			win := src.Binomial(m, pGt)
+			rest := m - win
+			tie := 0
+			if rest > 0 && pLeq > 0 {
+				cond := pEq / pLeq
+				if cond > 1 {
+					cond = 1
+				}
+				tie = src.Binomial(rest, cond)
+			}
+			lose := rest - tie
+			if o == 1 {
+				newOnes += win + tie
+				newZeros += lose
+			} else {
+				newOnes += win
+				newZeros += tie + lose
+			}
+		}
+		cumBelow = pLeq
+	}
+
+	src.Multinomial(newOnes, pmf, next.Counts[1])
+	src.Multinomial(newZeros, pmf, next.Counts[0])
+}
+
+// AggregateStates implements sim.AggregateProtocol: the stored count
+// ranges over {0, …, ℓ}.
+func (s *SimpleTrend) AggregateStates() int { return s.ell + 1 }
+
+// StepOccupancy implements sim.AggregateProtocol.
+//
+// SimpleTrend draws a single count ~ B(ℓ, x) that is both compared with
+// the stored count (greater → 1, smaller → 0, tie → keep) and stored as
+// the next state, so opinion and state are coupled: each (opinion, state)
+// group splits multinomially over the ℓ+1 possible counts, giving O(ℓ²)
+// binomial draws per round.
+func (s *SimpleTrend) StepOccupancy(occ, next *sim.Occupancy, xObs float64, src *rng.Source) {
+	pmf := dist.PMFVector(s.ell, xObs)
+	counts := make([]int, s.ell+1)
+	for st := 0; st <= s.ell; st++ {
+		for o := 0; o < 2; o++ {
+			m := occ.Counts[o][st]
+			if m == 0 {
+				continue
+			}
+			src.Multinomial(m, pmf, counts)
+			for c, k := range counts {
+				if k == 0 {
+					continue
+				}
+				op := o
+				switch {
+				case c > st:
+					op = 1
+				case c < st:
+					op = 0
+				}
+				next.Counts[op][c] += k
+			}
+		}
+	}
+}

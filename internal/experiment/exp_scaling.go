@@ -39,7 +39,7 @@ func init() {
 	})
 	register(Experiment{
 		ID:       "E16",
-		Title:    "Engine cross-validation (exact vs fast vs aggregate)",
+		Title:    "Engine cross-validation (exact, fast, parallel, occupancy, chain)",
 		PaperRef: "DESIGN.md engine ablation",
 		Run:      runE16,
 	})
@@ -282,6 +282,14 @@ func runE16(cfg Config) (*Report, error) {
 		return fetTrial(n, ell, adversary.AllWrong{Correct: sim.OpinionOne},
 			sim.EngineAgentFast, cfg.Seed^0x22<<32^uint64(trial), cap)
 	})
+	run("agent-parallel", func(trial int) float64 {
+		return fetTrial(n, ell, adversary.AllWrong{Correct: sim.OpinionOne},
+			sim.EngineAgentParallel, cfg.Seed^0x44<<32^uint64(trial), cap)
+	})
+	run("aggregate-occupancy", func(trial int) float64 {
+		return fetTrial(n, ell, adversary.AllWrong{Correct: sim.OpinionOne},
+			sim.EngineAggregate, cfg.Seed^0x55<<32^uint64(trial), cap)
+	})
 	run("aggregate-chain", func(trial int) float64 {
 		return chainTrial(n, ell, 0, 0, cfg.Seed^0x33<<32^uint64(trial), cap)
 	})
@@ -289,7 +297,7 @@ func runE16(cfg Config) (*Report, error) {
 
 	// Distribution-level comparison: a Kolmogorov–Smirnov test between
 	// every engine pair at α = 0.01.
-	names := []string{"agent-exact", "agent-fast", "aggregate-chain"}
+	names := []string{"agent-exact", "agent-fast", "agent-parallel", "aggregate-occupancy", "aggregate-chain"}
 	ksTab := tablefmt.New("pair", "KS statistic", "critical (α=0.01)", "same distribution")
 	allSame := true
 	for i := 0; i < len(names); i++ {

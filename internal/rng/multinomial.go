@@ -1,0 +1,49 @@
+package rng
+
+// Multinomial distributes m trials over the categories of pmf by the
+// standard conditional-binomial method: category i receives a
+// Binomial(remaining, pmf[i]/restMass) draw, which yields an exact
+// multinomial sample in O(len(pmf)) binomial draws. out must have
+// len(pmf) entries (or be nil, in which case it is allocated); it is
+// overwritten and returned. pmf must be non-negative and sum to ~1; any
+// trailing probability shortfall from float rounding is assigned to the
+// last category.
+func (s *Source) Multinomial(m int, pmf []float64, out []int) []int {
+	if m < 0 {
+		panic("rng: Multinomial with negative m")
+	}
+	if out == nil {
+		out = make([]int, len(pmf))
+	}
+	if len(out) != len(pmf) {
+		panic("rng: Multinomial with len(out) != len(pmf)")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	remaining := m
+	restMass := 1.0
+	for i, p := range pmf {
+		if remaining == 0 {
+			break
+		}
+		if i == len(pmf)-1 {
+			out[i] = remaining
+			break
+		}
+		cond := 0.0
+		if restMass > 0 {
+			cond = p / restMass
+		}
+		if cond >= 1 {
+			out[i] = remaining
+			remaining = 0
+			break
+		}
+		k := s.Binomial(remaining, cond)
+		out[i] = k
+		remaining -= k
+		restMass -= p
+	}
+	return out
+}

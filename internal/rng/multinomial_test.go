@@ -1,0 +1,74 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultinomialConserves(t *testing.T) {
+	src := New(1)
+	pmf := []float64{0.1, 0.3, 0.4, 0.2}
+	for _, m := range []int{0, 1, 7, 1000, 1 << 20} {
+		out := src.Multinomial(m, pmf, nil)
+		sum := 0
+		for _, k := range out {
+			if k < 0 {
+				t.Fatalf("negative count in %v", out)
+			}
+			sum += k
+		}
+		if sum != m {
+			t.Fatalf("Multinomial(%d) split into %d trials: %v", m, sum, out)
+		}
+	}
+}
+
+func TestMultinomialMeans(t *testing.T) {
+	src := New(2)
+	pmf := []float64{0.05, 0.25, 0.5, 0.2}
+	const (
+		m      = 1000
+		trials = 5000
+	)
+	sums := make([]float64, len(pmf))
+	out := make([]int, len(pmf))
+	for i := 0; i < trials; i++ {
+		src.Multinomial(m, pmf, out)
+		for j, k := range out {
+			sums[j] += float64(k)
+		}
+	}
+	for j, p := range pmf {
+		mean := sums[j] / trials
+		want := p * m
+		// 6σ band for the per-trial count across `trials` repetitions.
+		tol := 6 * math.Sqrt(m*p*(1-p)/trials)
+		if math.Abs(mean-want) > tol {
+			t.Fatalf("category %d mean %v, want %v ± %v", j, mean, want, tol)
+		}
+	}
+}
+
+func TestMultinomialDegenerate(t *testing.T) {
+	src := New(3)
+	// All mass on the first category: everything lands there.
+	out := src.Multinomial(100, []float64{1, 0, 0}, nil)
+	if out[0] != 100 || out[1] != 0 || out[2] != 0 {
+		t.Fatalf("degenerate split %v", out)
+	}
+	// Single category.
+	out = src.Multinomial(42, []float64{1}, nil)
+	if out[0] != 42 {
+		t.Fatalf("single-category split %v", out)
+	}
+}
+
+func TestMultinomialPanics(t *testing.T) {
+	src := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative m")
+		}
+	}()
+	src.Multinomial(-1, []float64{1}, nil)
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+
+	"passivespread/internal/rng"
+)
+
+// aggregateExecutor advances the population as per-(opinion, state)
+// occupancy counts instead of per-agent objects. One round costs the
+// protocol's StepOccupancy — O(ℓ²) binomial draws for the trend
+// protocols — independent of the population size, so worst-case
+// disseminations at n = 10⁸⁺ run in seconds while remaining agent-level
+// exact in distribution (every agent's round update law is applied to
+// every agent; only the per-agent identities are forgotten, which the
+// opinion-fraction statistics never depended on).
+type aggregateExecutor struct {
+	cfg   *Config
+	proto AggregateProtocol
+	occ   *Occupancy
+	next  *Occupancy
+	// sourceOnes is the number of sources displaying 1 (all sources agree,
+	// so this is Sources or 0 depending on the current correct opinion).
+	sourceOnes int
+	ones       int // total 1-opinions, sources included
+	src        *rng.Source
+}
+
+func newAggregateExecutor(c *Config) (*aggregateExecutor, error) {
+	proto, ok := c.Protocol.(AggregateProtocol)
+	if !ok {
+		return nil, fmt.Errorf("sim: engine %v requires an aggregate-capable protocol, %q is not",
+			c.Engine, c.Protocol.Name())
+	}
+	if c.StateInit != nil {
+		return nil, fmt.Errorf("sim: engine %v does not support StateInit (no per-agent objects)", c.Engine)
+	}
+	states := proto.AggregateStates()
+	if states < 1 {
+		return nil, fmt.Errorf("sim: protocol %q reports %d aggregate states", proto.Name(), states)
+	}
+
+	e := &aggregateExecutor{
+		cfg:   c,
+		proto: proto,
+		occ:   NewOccupancy(states),
+		next:  NewOccupancy(states),
+		// Stream 0 matches the agent engines' initializer stream; all
+		// aggregate draws share it (the engine is sequential by design —
+		// its per-round work is O(ℓ²) regardless of n).
+		src: rng.NewFrom(c.Seed, 0),
+	}
+
+	nonSources := c.N - c.Sources
+	e.sourceOnes = int(c.Correct) * c.Sources
+	initOnes, err := e.initialOnes(nonSources)
+	if err != nil {
+		return nil, err
+	}
+
+	// Opinions are set; distribute internal states. CorruptStates means
+	// the adversary placed arbitrary memories — modeled, as in the agent
+	// engines, by a uniform draw per agent, i.e. a uniform multinomial
+	// split per opinion class. Otherwise all agents start at state 0
+	// (the zero value of the agent structs).
+	if c.CorruptStates {
+		uniform := make([]float64, states)
+		for s := range uniform {
+			uniform[s] = 1 / float64(states)
+		}
+		e.src.Multinomial(initOnes, uniform, e.occ.Counts[1])
+		e.src.Multinomial(nonSources-initOnes, uniform, e.occ.Counts[0])
+	} else {
+		e.occ.Counts[1][0] = initOnes
+		e.occ.Counts[0][0] = nonSources - initOnes
+	}
+	e.ones = e.sourceOnes + initOnes
+	return e, nil
+}
+
+// initialOnes computes the number of non-source agents starting at 1,
+// preferring the initializer's aggregate form and falling back to a
+// one-off materialized assignment for moderate populations.
+func (e *aggregateExecutor) initialOnes(nonSources int) (int, error) {
+	c := e.cfg
+	if agg, ok := c.Init.(AggregateInitializer); ok {
+		ones := agg.AggregateOnes(c.N, nonSources, e.sourceOnes, e.src)
+		if ones < 0 || ones > nonSources {
+			return 0, fmt.Errorf("sim: initializer %q reported %d ones among %d non-sources",
+				c.Init.Name(), ones, nonSources)
+		}
+		return ones, nil
+	}
+
+	// Fallback: materialize the opinions once. Refuse population sizes
+	// where the temporary arrays would defeat the engine's purpose.
+	const materializeLimit = 1 << 26
+	if c.N > materializeLimit {
+		return 0, fmt.Errorf("sim: initializer %q cannot start the aggregate engine at n = %d "+
+			"(implement AggregateInitializer to avoid materializing the population)", c.Init.Name(), c.N)
+	}
+	opinions := make([]byte, c.N)
+	isSource := make([]bool, c.N)
+	for i := 0; i < c.Sources; i++ {
+		isSource[i] = true
+		opinions[i] = c.Correct
+	}
+	c.Init.Assign(opinions, isSource, e.src)
+	for i := 0; i < c.Sources; i++ {
+		if opinions[i] != c.Correct {
+			return 0, fmt.Errorf("sim: initializer %q overwrote a source opinion", c.Init.Name())
+		}
+	}
+	return countOnes(opinions) - e.sourceOnes, nil
+}
+
+// Ones implements roundExecutor.
+func (e *aggregateExecutor) Ones() int { return e.ones }
+
+// Step implements roundExecutor.
+func (e *aggregateExecutor) Step(correct byte) error {
+	c := e.cfg
+	e.sourceOnes = int(correct) * c.Sources
+	nonSourceOnes := e.occ.Ones()
+	e.ones = e.sourceOnes + nonSourceOnes
+
+	x := float64(e.ones) / float64(c.N)
+	xObs := observedFraction(x, c.NoiseEps)
+
+	e.next.Zero()
+	e.proto.StepOccupancy(e.occ, e.next, xObs, e.src)
+	e.occ, e.next = e.next, e.occ
+
+	e.ones = e.sourceOnes + e.occ.Ones()
+	return nil
+}

@@ -20,8 +20,13 @@ type Config struct {
 	Protocol Protocol
 	// Init chooses the adversarial starting opinions. Required.
 	Init Initializer
-	// Engine selects the observation implementation (default fast).
+	// Engine selects the round executor (default fast).
 	Engine EngineKind
+	// Parallelism bounds the number of worker goroutines used by
+	// EngineAgentParallel (0 = GOMAXPROCS). Results are bit-identical
+	// across all parallelism levels: every agent owns its RNG stream and
+	// shards write disjoint slices.
+	Parallelism int
 	// Seed is the root seed; all randomness derives from it.
 	Seed uint64
 	// MaxRounds caps the simulation length. Required (> 0).
@@ -37,12 +42,15 @@ type Config struct {
 	// RecordTrajectory stores x_t for every executed round in the result.
 	RecordTrajectory bool
 	// CorruptStates, when set, calls CorruptState on every agent that
-	// implements StateCorruptible before round 0 (worst-case memory).
+	// implements StateCorruptible before round 0 (worst-case memory). The
+	// aggregate engine honors it by drawing every agent's internal state
+	// uniformly.
 	CorruptStates bool
 	// StateInit, when non-nil, is invoked on every non-source agent after
 	// construction (and after CorruptStates). It allows experiments to
 	// place protocol-specific internal state, e.g. seeding FET counts to
-	// start the chain at a chosen grid point.
+	// start the chain at a chosen grid point. Not supported by
+	// EngineAggregate (which has no per-agent objects).
 	StateInit func(i int, agent Agent, src *rng.Source)
 	// OnRound, when non-nil, is invoked after every round with the round
 	// index and the new fraction of 1-opinions. Returning false stops the
@@ -111,6 +119,9 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.AbsorbWindow < 1 {
 		return cfg, fmt.Errorf("sim: AbsorbWindow = %d, want ≥ 1", cfg.AbsorbWindow)
 	}
+	if cfg.Parallelism < 0 {
+		return cfg, fmt.Errorf("sim: Parallelism = %d, want ≥ 0", cfg.Parallelism)
+	}
 	if cfg.NoiseEps < 0 || cfg.NoiseEps >= 0.5 {
 		return cfg, fmt.Errorf("sim: NoiseEps = %v, want in [0, 1/2)", cfg.NoiseEps)
 	}
@@ -121,74 +132,40 @@ func (c *Config) withDefaults() (Config, error) {
 }
 
 // Run executes the simulation described by cfg and returns its result.
+//
+// Run is a thin orchestrator: it owns the round loop and all bookkeeping
+// (absorption detection, trajectory recording, mid-run environment flips,
+// early stops) while the population itself is advanced by a roundExecutor
+// selected via Config.Engine. All executors implement the same
+// synchronous-round semantics, so the bookkeeping is engine-independent.
 func Run(cfg Config) (Result, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
+	exec, err := newRoundExecutor(&c)
+	if err != nil {
+		return Result{}, err
+	}
 
 	n := c.N
-	opinions := make([]byte, n)
-	next := make([]byte, n)
-	isSource := make([]bool, n)
-	// Sources occupy the first indices; sampling is uniform so placement
-	// is irrelevant.
-	for i := 0; i < c.Sources; i++ {
-		isSource[i] = true
-		opinions[i] = c.Correct
-	}
-
-	// Stream 0 seeds the initializer; streams 1..n seed the agents.
-	initSrc := rng.NewFrom(c.Seed, 0)
-	c.Init.Assign(opinions, isSource, initSrc)
-	for i := 0; i < c.Sources; i++ {
-		if opinions[i] != c.Correct {
-			return Result{}, fmt.Errorf("sim: initializer %q overwrote a source opinion", c.Init.Name())
-		}
-	}
-
-	agents := make([]Agent, n)
-	srcs := make([]*rng.Source, n)
-	for i := c.Sources; i < n; i++ {
-		srcs[i] = rng.NewFrom(c.Seed, uint64(i)+1)
-		agents[i] = c.Protocol.NewAgent(srcs[i])
-		if c.CorruptStates {
-			if sc, ok := agents[i].(StateCorruptible); ok {
-				sc.CorruptState(srcs[i])
-			}
-		}
-		if c.StateInit != nil {
-			c.StateInit(i, agents[i], srcs[i])
-		}
-	}
-
-	sampleSizes := c.Protocol.SampleSizes()
-
 	correct := c.Correct
-	countOnes := func(ops []byte) int {
-		ones := 0
-		for _, o := range ops {
-			ones += int(o)
+	allCorrect := func(ones int) bool {
+		if correct == OpinionOne {
+			return ones == n
 		}
-		return ones
-	}
-	allCorrect := func(ops []byte) bool {
-		for _, o := range ops {
-			if o != correct {
-				return false
-			}
-		}
-		return true
+		return ones == 0
 	}
 
 	res := Result{Round: -1}
+	ones := exec.Ones()
 	if c.RecordTrajectory {
 		res.Trajectory = make([]float64, 0, c.MaxRounds+1)
-		res.Trajectory = append(res.Trajectory, float64(countOnes(opinions))/float64(n))
+		res.Trajectory = append(res.Trajectory, float64(ones)/float64(n))
 	}
 
 	correctRun := 0
-	if allCorrect(opinions) {
+	if allCorrect(ones) {
 		correctRun = 1
 	}
 	absorbed := correctRun >= c.AbsorbWindow
@@ -203,48 +180,22 @@ func Run(cfg Config) (Result, error) {
 			// The environment changed: sources switch to the new correct
 			// opinion and convergence is judged against it from here on.
 			correct = 1 - correct
-			for i := 0; i < c.Sources; i++ {
-				opinions[i] = correct
-			}
 			correctRun = 0
 			absorbed = false
 			absorbedAt = -1
 		}
 
-		x := float64(countOnes(opinions)) / float64(n)
-
-		var tables []roundTable
-		if c.Engine == EngineAgentFast {
-			tables = buildRoundTables(sampleSizes, observedFraction(x, c.NoiseEps))
+		if err := exec.Step(correct); err != nil {
+			return Result{}, err
 		}
+		ones = exec.Ones()
 
-		for i := 0; i < n; i++ {
-			if isSource[i] {
-				next[i] = correct
-				continue
-			}
-			var obs Observation
-			switch c.Engine {
-			case EngineAgentFast:
-				obs = &fastObserver{x: observedFraction(x, c.NoiseEps), tables: tables, src: srcs[i]}
-			case EngineAgentExact:
-				obs = &exactObserver{opinions: opinions, src: srcs[i], noiseEps: c.NoiseEps}
-			default:
-				return Result{}, fmt.Errorf("sim: unknown engine %v", c.Engine)
-			}
-			next[i] = agents[i].Step(opinions[i], obs)
-			if next[i] > 1 {
-				return Result{}, fmt.Errorf("sim: protocol %q produced opinion %d", c.Protocol.Name(), next[i])
-			}
-		}
-		opinions, next = next, opinions
-
-		newX := float64(countOnes(opinions)) / float64(n)
+		newX := float64(ones) / float64(n)
 		if c.RecordTrajectory {
 			res.Trajectory = append(res.Trajectory, newX)
 		}
 
-		if allCorrect(opinions) {
+		if allCorrect(ones) {
 			correctRun++
 		} else {
 			correctRun = 0
@@ -269,7 +220,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res.Rounds = round
-	res.FinalX = float64(countOnes(opinions)) / float64(n)
+	res.FinalX = float64(exec.Ones()) / float64(n)
 	res.Converged = absorbed
 	if absorbed {
 		res.Round = absorbedAt

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"passivespread/internal/rng"
+)
+
+// roundExecutor is the pluggable execution layer under Run: it owns the
+// population representation and advances it one synchronous round at a
+// time, while the orchestrator keeps all protocol-independent bookkeeping.
+//
+// Implementations: the per-agent executors (exact, fast, parallel) hold
+// explicit opinion and agent arrays; the aggregate executor holds only
+// per-state occupancy counts.
+type roundExecutor interface {
+	// Ones returns the current number of 1-opinions across the whole
+	// population, sources included.
+	Ones() int
+	// Step advances one synchronous round. correct is the opinion the
+	// sources currently display (it can change mid-run under
+	// Config.FlipCorrectAt; the executor re-pins sources every round).
+	Step(correct byte) error
+}
+
+// newRoundExecutor builds the executor selected by cfg.Engine from an
+// already-validated config.
+func newRoundExecutor(c *Config) (roundExecutor, error) {
+	switch c.Engine {
+	case EngineAgentFast, EngineAgentExact, EngineAgentParallel:
+		return newAgentExecutor(c)
+	case EngineAggregate:
+		return newAggregateExecutor(c)
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %v", c.Engine)
+	}
+}
+
+// agentExecutor advances an explicit per-agent population. It backs the
+// exact, fast, and parallel engines, which differ only in how a round's
+// observations are sampled and how the agent sweep is scheduled.
+type agentExecutor struct {
+	cfg      *Config
+	opinions []byte
+	next     []byte
+	isSource []bool
+	agents   []Agent
+	srcs     []*rng.Source
+	// sampleSizes are the protocol's declared CountOnes sizes, used by the
+	// fast path to pre-tabulate the round's binomial laws once.
+	sampleSizes []int
+	// ones counts the 1-opinions in opinions (sources included).
+	ones int
+	// workers is the shard count for EngineAgentParallel (≥ 1).
+	workers int
+	// observers are the per-worker reusable observation samplers: one
+	// observer per shard avoids a heap allocation per agent per round
+	// without sharing mutable state across goroutines.
+	observers []reusableObserver
+}
+
+// reusableObserver is an Observation that can be re-aimed at a new agent's
+// RNG stream between Step calls, so one allocation serves a whole shard.
+type reusableObserver interface {
+	Observation
+	// bind prepares the observer for one agent and the current round.
+	bind(src *rng.Source)
+	// newRound installs the current round's observation law.
+	newRound(x float64, tables []roundTable)
+}
+
+func (o *exactObserver) bind(src *rng.Source)           { o.src = src }
+func (o *exactObserver) newRound(float64, []roundTable) {}
+
+func (o *fastObserver) bind(src *rng.Source) { o.src = src }
+func (o *fastObserver) newRound(x float64, tables []roundTable) {
+	o.x = x
+	o.tables = tables
+}
+
+func newAgentExecutor(c *Config) (*agentExecutor, error) {
+	n := c.N
+	e := &agentExecutor{
+		cfg:         c,
+		opinions:    make([]byte, n),
+		next:        make([]byte, n),
+		isSource:    make([]bool, n),
+		agents:      make([]Agent, n),
+		srcs:        make([]*rng.Source, n),
+		sampleSizes: c.Protocol.SampleSizes(),
+		workers:     1,
+	}
+	// Sources occupy the first indices; sampling is uniform so placement
+	// is irrelevant.
+	for i := 0; i < c.Sources; i++ {
+		e.isSource[i] = true
+		e.opinions[i] = c.Correct
+	}
+
+	// Stream 0 seeds the initializer; streams 1..n seed the agents.
+	initSrc := rng.NewFrom(c.Seed, 0)
+	c.Init.Assign(e.opinions, e.isSource, initSrc)
+	for i := 0; i < c.Sources; i++ {
+		if e.opinions[i] != c.Correct {
+			return nil, fmt.Errorf("sim: initializer %q overwrote a source opinion", c.Init.Name())
+		}
+	}
+	e.ones = countOnes(e.opinions)
+
+	for i := c.Sources; i < n; i++ {
+		e.srcs[i] = rng.NewFrom(c.Seed, uint64(i)+1)
+		e.agents[i] = c.Protocol.NewAgent(e.srcs[i])
+		if c.CorruptStates {
+			if sc, ok := e.agents[i].(StateCorruptible); ok {
+				sc.CorruptState(e.srcs[i])
+			}
+		}
+		if c.StateInit != nil {
+			c.StateInit(i, e.agents[i], e.srcs[i])
+		}
+	}
+
+	if c.Engine == EngineAgentParallel {
+		e.workers = c.Parallelism
+		if e.workers == 0 {
+			e.workers = runtime.GOMAXPROCS(0)
+		}
+		if max := n - c.Sources; e.workers > max {
+			e.workers = max
+		}
+		if e.workers < 1 {
+			e.workers = 1
+		}
+	}
+	e.observers = make([]reusableObserver, e.workers)
+	for w := range e.observers {
+		if c.Engine == EngineAgentExact {
+			e.observers[w] = &exactObserver{opinions: e.opinions, noiseEps: c.NoiseEps}
+		} else {
+			e.observers[w] = &fastObserver{}
+		}
+	}
+	return e, nil
+}
+
+func countOnes(ops []byte) int {
+	ones := 0
+	for _, o := range ops {
+		ones += int(o)
+	}
+	return ones
+}
+
+// Ones implements roundExecutor.
+func (e *agentExecutor) Ones() int { return e.ones }
+
+// Step implements roundExecutor.
+func (e *agentExecutor) Step(correct byte) error {
+	c := e.cfg
+	n := c.N
+
+	// Re-pin the sources: under FlipCorrectAt the correct opinion changes
+	// mid-run and the displayed source opinions must follow before this
+	// round's observations are drawn.
+	for i := 0; i < c.Sources; i++ {
+		if e.opinions[i] != correct {
+			e.ones += int(correct) - int(e.opinions[i])
+			e.opinions[i] = correct
+		}
+	}
+
+	x := float64(e.ones) / float64(n)
+	xObs := observedFraction(x, c.NoiseEps)
+	var tables []roundTable
+	if c.Engine != EngineAgentExact {
+		tables = buildRoundTables(e.sampleSizes, xObs)
+	}
+	for _, obs := range e.observers {
+		obs.newRound(xObs, tables)
+	}
+
+	var onesDelta int
+	var err error
+	if e.workers == 1 {
+		onesDelta, err = e.stepShard(c.Sources, n, e.observers[0])
+	} else {
+		onesDelta, err = e.stepParallel()
+	}
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.Sources; i++ {
+		e.next[i] = correct
+	}
+
+	e.opinions, e.next = e.next, e.opinions
+	e.ones += onesDelta
+	if c.Engine == EngineAgentExact {
+		// The swap moved the live population into the other backing array;
+		// re-aim the literal samplers at it.
+		for _, o := range e.observers {
+			o.(*exactObserver).opinions = e.opinions
+		}
+	}
+	return nil
+}
+
+// stepShard advances the non-source agents in [lo, hi) and returns the
+// change in the number of 1-opinions over the shard. Each agent draws only
+// from its own RNG stream, so shards are independent and the sweep order
+// inside a shard never affects other shards — the basis of the parallel
+// engine's bit-identical determinism.
+func (e *agentExecutor) stepShard(lo, hi int, obs reusableObserver) (onesDelta int, err error) {
+	for i := lo; i < hi; i++ {
+		obs.bind(e.srcs[i])
+		out := e.agents[i].Step(e.opinions[i], obs)
+		if out > 1 {
+			return 0, fmt.Errorf("sim: protocol %q produced opinion %d", e.cfg.Protocol.Name(), out)
+		}
+		e.next[i] = out
+		onesDelta += int(out) - int(e.opinions[i])
+	}
+	return onesDelta, nil
+}
+
+// stepParallel shards the non-source index range across the worker pool.
+// The shard boundaries depend only on n, Sources and the worker count;
+// every worker writes a disjoint slice of next and touches only its own
+// agents' RNG streams, so the merged result is byte-identical to the
+// sequential sweep for any worker count.
+func (e *agentExecutor) stepParallel() (int, error) {
+	lo := e.cfg.Sources
+	total := e.cfg.N - lo
+	deltas := make([]int, e.workers)
+	errs := make([]error, e.workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		shardLo := lo + total*w/e.workers
+		shardHi := lo + total*(w+1)/e.workers
+		if shardLo == shardHi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, shardLo, shardHi int) {
+			defer wg.Done()
+			deltas[w], errs[w] = e.stepShard(shardLo, shardHi, e.observers[w])
+		}(w, shardLo, shardHi)
+	}
+	wg.Wait()
+
+	onesDelta := 0
+	for w := 0; w < e.workers; w++ {
+		if errs[w] != nil {
+			return 0, errs[w]
+		}
+		onesDelta += deltas[w]
+	}
+	return onesDelta, nil
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"passivespread/internal/rng"
+)
+
+// TestParallelBitIdenticalAcrossWorkerCounts: the parallel engine must
+// produce byte-identical results to the sequential fast engine for every
+// worker count — each agent owns its RNG stream, so sharding cannot
+// change any draw.
+func TestParallelBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, proto := range []Protocol{
+		majorityProtocol{m: 9},             // exercises the tabulated CountOnes path
+		infectProtocol{target: OpinionOne}, // exercises the Sample path
+	} {
+		base := Config{
+			N:                500,
+			Protocol:         proto,
+			Init:             halfInit{},
+			Correct:          OpinionOne,
+			Seed:             42,
+			MaxRounds:        300,
+			RecordTrajectory: true,
+		}
+		ref, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+			cfg := base
+			cfg.Engine = EngineAgentParallel
+			cfg.Parallelism = workers
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%s: parallel(%d) diverged from fast:\nfast:     %+v\nparallel: %+v",
+					proto.Name(), workers, ref, got)
+			}
+		}
+	}
+}
+
+// trendFixture is a minimal aggregate-capable protocol for engine-level
+// tests: a FET-shaped rule with state = stored count.
+type trendFixture struct{ ell int }
+
+func (p trendFixture) Name() string       { return "trend-fixture" }
+func (p trendFixture) SampleSizes() []int { return []int{p.ell} }
+func (p trendFixture) NewAgent(*rng.Source) Agent {
+	return &trendFixtureAgent{ell: p.ell}
+}
+func (p trendFixture) AggregateStates() int { return p.ell + 1 }
+
+func (p trendFixture) StepOccupancy(occ, next *Occupancy, xObs float64, src *rng.Source) {
+	// Distributionally exact mirror of the per-agent rule below, written
+	// naively (per-agent loop over the occupancy) — fine for tests.
+	tab := rng.NewBinomialCDF(p.ell, xObs)
+	for o := 0; o < 2; o++ {
+		for s, m := range occ.Counts[o] {
+			for a := 0; a < m; a++ {
+				cmp := tab.Sample(src)
+				store := tab.Sample(src)
+				op := o
+				switch {
+				case cmp > s:
+					op = 1
+				case cmp < s:
+					op = 0
+				}
+				next.Counts[op][store]++
+			}
+		}
+	}
+}
+
+type trendFixtureAgent struct {
+	ell  int
+	prev int
+}
+
+func (a *trendFixtureAgent) Step(cur byte, obs Observation) byte {
+	cmp := obs.CountOnes(a.ell)
+	store := obs.CountOnes(a.ell)
+	next := cur
+	switch {
+	case cmp > a.prev:
+		next = OpinionOne
+	case cmp < a.prev:
+		next = OpinionZero
+	}
+	a.prev = store
+	return next
+}
+
+func aggregateConfig() Config {
+	return Config{
+		N:         400,
+		Protocol:  trendFixture{ell: 8},
+		Init:      allWrongInit{},
+		Correct:   OpinionOne,
+		Engine:    EngineAggregate,
+		Seed:      5,
+		MaxRounds: 2000,
+	}
+}
+
+func TestAggregateEngineConverges(t *testing.T) {
+	res, err := Run(aggregateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("aggregate trend run did not converge: %+v", res)
+	}
+	if res.FinalX != 1 {
+		t.Fatalf("converged run must end at x = 1, got %v", res.FinalX)
+	}
+}
+
+func TestAggregateTrajectoryBookkeeping(t *testing.T) {
+	cfg := aggregateConfig()
+	cfg.RecordTrajectory = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) != res.Rounds+1 {
+		t.Fatalf("trajectory has %d entries for %d rounds", len(res.Trajectory), res.Rounds)
+	}
+	if res.Trajectory[0] != 1/float64(cfg.N) {
+		t.Fatalf("x_0 = %v, want 1/n (all-wrong + 1 source)", res.Trajectory[0])
+	}
+	for i, x := range res.Trajectory {
+		if x < 0 || x > 1 {
+			t.Fatalf("x_%d = %v out of [0,1]", i, x)
+		}
+	}
+}
+
+func TestAggregateRequiresAggregateProtocol(t *testing.T) {
+	cfg := aggregateConfig()
+	cfg.Protocol = infectProtocol{target: OpinionOne}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected an error for a non-aggregate protocol")
+	}
+}
+
+func TestAggregateRejectsStateInit(t *testing.T) {
+	cfg := aggregateConfig()
+	cfg.StateInit = func(int, Agent, *rng.Source) {}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected an error for StateInit under the aggregate engine")
+	}
+}
+
+func TestAggregateCorruptStates(t *testing.T) {
+	cfg := aggregateConfig()
+	cfg.CorruptStates = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("aggregate run with corrupted states did not converge: %+v", res)
+	}
+}
+
+func TestAggregateFlipCorrect(t *testing.T) {
+	cfg := aggregateConfig()
+	cfg.FlipCorrectAt = 3
+	cfg.MaxRounds = 4000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the flip, convergence means everyone on 0.
+	if !res.Converged {
+		t.Fatalf("did not re-stabilize after the flip: %+v", res)
+	}
+	if res.FinalX != 0 {
+		t.Fatalf("final x = %v, want 0 after flipping to correct = 0", res.FinalX)
+	}
+}
+
+func TestOccupancyHelpers(t *testing.T) {
+	o := NewOccupancy(3)
+	o.Counts[1][0] = 4
+	o.Counts[1][2] = 1
+	o.Counts[0][1] = 7
+	if o.Ones() != 5 {
+		t.Fatalf("Ones = %d", o.Ones())
+	}
+	if o.Total() != 12 {
+		t.Fatalf("Total = %d", o.Total())
+	}
+	o.Zero()
+	if o.Total() != 0 {
+		t.Fatalf("Total after Zero = %d", o.Total())
+	}
+}
+
+func TestEngineKindStringNew(t *testing.T) {
+	if EngineAgentParallel.String() != "agent-parallel" {
+		t.Fatal(EngineAgentParallel.String())
+	}
+	if EngineAggregate.String() != "aggregate" {
+		t.Fatal(EngineAggregate.String())
+	}
+}

@@ -10,19 +10,30 @@
 // 1-opinions among them — which is exactly a Binomial(m, x_t) variate,
 // where x_t is the current fraction of 1-opinions.
 //
-// The package offers two statistically identical engines:
+// The package is layered (see DESIGN.md §1): a protocol-independent
+// orchestrator owns the round loop and bookkeeping, and advances the
+// population through a pluggable round executor selected by EngineKind:
 //
 //   - EngineAgentExact samples agent indices literally and reads their
 //     opinions (the model's operational definition);
 //   - EngineAgentFast draws each observation directly from a tabulated
-//     Binomial(m, x_t) law (the model's distributional definition).
+//     Binomial(m, x_t) law (the model's distributional definition);
+//   - EngineAgentParallel shards the fast sweep across a worker pool,
+//     bit-identical to EngineAgentFast at every parallelism level;
+//   - EngineAggregate advances per-(opinion, state) occupancy counts in
+//     O(ℓ²) per round independent of n, agent-level exact in
+//     distribution, for populations of 10⁸ and beyond.
 //
-// Tests cross-validate the two. A third, aggregate engine that simulates
-// only the (x_t, x_{t+1}) Markov chain of Observation 1 lives in
-// internal/markov.
+// Tests cross-validate all of them. A still-coarser engine that
+// simulates only the (x_t, x_{t+1}) Markov chain of Observation 1 lives
+// in internal/markov.
 package sim
 
-import "passivespread/internal/rng"
+import (
+	"fmt"
+
+	"passivespread/internal/rng"
+)
 
 // Opinion values. Opinions are bytes restricted to {0, 1}.
 const (
@@ -90,7 +101,7 @@ type TrendSeeder interface {
 	SeedPrevCount(count int)
 }
 
-// EngineKind selects the observation implementation.
+// EngineKind selects the round executor.
 type EngineKind int
 
 // Available engines.
@@ -101,7 +112,36 @@ const (
 	EngineAgentFast EngineKind = iota
 	// EngineAgentExact samples agent indices uniformly and reads opinions.
 	EngineAgentExact
+	// EngineAgentParallel is EngineAgentFast sharded across a worker pool
+	// (Config.Parallelism, default GOMAXPROCS). Because every agent owns
+	// its RNG stream and shards write disjoint slices, results are
+	// bit-identical to EngineAgentFast at every parallelism level.
+	EngineAgentParallel
+	// EngineAggregate advances the population as occupancy counts per
+	// (opinion, internal state) instead of per-agent objects: one round
+	// costs O(ℓ²) multinomial updates independent of n, reaching
+	// populations of 10⁸ and beyond with agent-level-exact statistics.
+	// Requires a Protocol implementing AggregateProtocol; supports
+	// CorruptStates but not StateInit.
+	EngineAggregate
 )
+
+// ParseEngineKind returns the engine selected by a CLI-style name:
+// "fast", "exact", "parallel" or "aggregate".
+func ParseEngineKind(name string) (EngineKind, error) {
+	switch name {
+	case "fast":
+		return EngineAgentFast, nil
+	case "exact":
+		return EngineAgentExact, nil
+	case "parallel":
+		return EngineAgentParallel, nil
+	case "aggregate":
+		return EngineAggregate, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown engine %q", name)
+	}
+}
 
 // String returns the engine's name.
 func (k EngineKind) String() string {
@@ -110,7 +150,80 @@ func (k EngineKind) String() string {
 		return "agent-fast"
 	case EngineAgentExact:
 		return "agent-exact"
+	case EngineAgentParallel:
+		return "agent-parallel"
+	case EngineAggregate:
+		return "aggregate"
 	default:
 		return "unknown"
 	}
+}
+
+// Occupancy is the aggregate population representation: Counts[o][s] is
+// the number of non-source agents currently displaying opinion o with
+// internal state s. Sources are tracked separately by the engine.
+type Occupancy struct {
+	Counts [2][]int
+}
+
+// NewOccupancy returns a zeroed occupancy matrix for states states.
+func NewOccupancy(states int) *Occupancy {
+	return &Occupancy{Counts: [2][]int{make([]int, states), make([]int, states)}}
+}
+
+// Ones returns the number of non-source agents displaying opinion 1.
+func (o *Occupancy) Ones() int {
+	ones := 0
+	for _, c := range o.Counts[1] {
+		ones += c
+	}
+	return ones
+}
+
+// Total returns the number of non-source agents.
+func (o *Occupancy) Total() int {
+	t := 0
+	for op := 0; op < 2; op++ {
+		for _, c := range o.Counts[op] {
+			t += c
+		}
+	}
+	return t
+}
+
+// Zero clears all counts.
+func (o *Occupancy) Zero() {
+	for op := 0; op < 2; op++ {
+		for s := range o.Counts[op] {
+			o.Counts[op][s] = 0
+		}
+	}
+}
+
+// AggregateProtocol is implemented by protocols whose whole population can
+// be advanced as occupancy counts: the agent state is a small integer and
+// the update law depends only on (opinion, state) and the round's
+// observation distribution. FET and SimpleTrend qualify — their state is
+// the stored count ∈ {0, …, ℓ}.
+type AggregateProtocol interface {
+	Protocol
+	// AggregateStates returns the number of distinct internal states.
+	AggregateStates() int
+	// StepOccupancy advances the population one synchronous round: occ is
+	// the current occupancy, next a zeroed matrix to fill, xObs the
+	// effective probability that a single observation reads 1 (noise
+	// already folded in), and src the round's randomness. The update must
+	// be agent-level exact in distribution.
+	StepOccupancy(occ, next *Occupancy, xObs float64, src *rng.Source)
+}
+
+// AggregateInitializer is implemented by initializers that can report how
+// many of the nonSources non-source agents start at opinion 1 without
+// materializing a per-agent opinion array — required to start the
+// aggregate engine at populations where O(n) arrays are not affordable.
+// n is the total population size and sourceOnes the number of sources
+// displaying opinion 1; the returned count must lie in [0, nonSources].
+type AggregateInitializer interface {
+	Initializer
+	AggregateOnes(n, nonSources, sourceOnes int, src *rng.Source) int
 }

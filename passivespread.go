@@ -4,10 +4,11 @@
 //
 // It provides the Follow the Emerging Trend (FET) protocol for the
 // self-stabilizing bit-dissemination problem in the PULL model with
-// passive communication, simulation engines at agent level and at the
-// level of the induced Markov chain, the paper's baselines, the
-// state-space geometry of its analysis, and a harness that reproduces
-// every figure and lemma-level claim (see DESIGN.md and EXPERIMENTS.md).
+// passive communication, a layered family of simulation engines — agent
+// level (sequential and sharded-parallel), aggregate occupancy level,
+// and the induced Markov chain — the paper's baselines, the state-space
+// geometry of its analysis, and a harness that reproduces every figure
+// and lemma-level claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // # Quickstart
 //
@@ -63,6 +64,13 @@ const (
 	EngineAgentFast = sim.EngineAgentFast
 	// EngineAgentExact samples agent indices literally.
 	EngineAgentExact = sim.EngineAgentExact
+	// EngineAgentParallel shards the agent sweep across a worker pool;
+	// results are bit-identical to EngineAgentFast at any parallelism.
+	EngineAgentParallel = sim.EngineAgentParallel
+	// EngineAggregate advances per-state occupancy counts instead of
+	// agents: rounds cost O(ℓ²) independent of n, reaching populations of
+	// 10⁸ and beyond with agent-level-exact statistics.
+	EngineAggregate = sim.EngineAggregate
 )
 
 // Run executes an agent-level simulation. It is the low-level entry
@@ -113,6 +121,13 @@ type Options struct {
 	MaxRounds int
 	// RecordTrajectory stores x_t per round in the result.
 	RecordTrajectory bool
+	// Engine selects the round executor (default EngineAgentFast). Use
+	// EngineAgentParallel for large agent-level populations and
+	// EngineAggregate for populations beyond agent-level reach.
+	Engine EngineKind
+	// Parallelism bounds EngineAgentParallel's worker count
+	// (0 = GOMAXPROCS). Any value yields bit-identical results.
+	Parallelism int
 }
 
 // Disseminate runs FET end-to-end under the worst-case defaults and
@@ -140,6 +155,8 @@ func Disseminate(opts Options) (Result, error) {
 		Correct:          correct,
 		Protocol:         core.NewFET(ell),
 		Init:             init,
+		Engine:           opts.Engine,
+		Parallelism:      opts.Parallelism,
 		Seed:             opts.Seed,
 		MaxRounds:        maxRounds,
 		CorruptStates:    true,
