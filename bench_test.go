@@ -1,6 +1,7 @@
 package passivespread
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -86,10 +87,10 @@ func BenchmarkFETRoundByN(b *testing.B) {
 				Seed:      1,
 				MaxRounds: b.N,
 				RunToEnd:  true,
-				OnRound: func(int, float64) bool {
+				Observers: []Observer{ObserverFunc(func(RoundEvent) error {
 					rounds++
-					return true
-				},
+					return nil
+				})},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -125,16 +126,16 @@ func BenchmarkEngineRound(b *testing.B) {
 					Seed:      1,
 					MaxRounds: b.N,
 					RunToEnd:  true,
-					OnRound: func(round int, _ float64) bool {
-						if round == 0 {
+					Observers: []Observer{ObserverFunc(func(ev RoundEvent) error {
+						if ev.Round == 0 {
 							// Exclude the O(n) population construction from
 							// the per-round measurement (the aggregate
 							// engine's setup is O(ℓ), which would otherwise
 							// skew the comparison in its favor even further).
 							b.ResetTimer()
 						}
-						return true
-					},
+						return nil
+					})},
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -188,4 +189,40 @@ func BenchmarkCompete(b *testing.B) {
 		sink = dist.Compete(ell, 0.45, 0.55)
 	}
 	_ = sink
+}
+
+// BenchmarkStudyReplicates measures the batch throughput of the Study
+// API — replicates per second per engine at fixed n = 4096, worst-case
+// start, default worker pool. Recorded results live in BENCH_study.json.
+func BenchmarkStudyReplicates(b *testing.B) {
+	engines := []struct {
+		name string
+		kind EngineKind
+	}{
+		{"fast", EngineAgentFast},
+		{"parallel", EngineAgentParallel},
+		{"aggregate", EngineAggregate},
+		{"chain", EngineMarkovChain},
+	}
+	for _, eng := range engines {
+		b.Run(eng.name, func(b *testing.B) {
+			study, err := NewStudy(StudySpec{
+				Replicates: b.N,
+				Options:    Options{N: 4096, Seed: 1, Engine: eng.kind},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			report, err := study.Run(context.Background())
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if report.Convergence.Converged == 0 {
+				b.Fatal("no replicate converged")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
+		})
+	}
 }

@@ -12,19 +12,19 @@ import (
 	"fmt"
 	"os"
 
-	"passivespread/internal/domain"
+	"passivespread"
 )
 
 func main() {
 	var (
 		n      = flag.Int("n", 1<<20, "population size (sets 1/log n and λ_n)")
-		delta  = flag.Float64("delta", domain.DefaultDelta, "the paper's δ")
+		delta  = flag.Float64("delta", passivespread.DefaultDelta, "the paper's δ")
 		res    = flag.Int("res", 64, "map resolution (lattice points per axis − 1)")
 		figure = flag.String("figure", "both", "which figure to render: 1a, 2, or both")
 	)
 	flag.Parse()
 
-	p := domain.Params{N: *n, Delta: *delta}
+	p := passivespread.DomainParams{N: *n, Delta: *delta}
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -39,7 +39,7 @@ func main() {
 		fmt.Print(p.RenderMap(*res))
 		fmt.Println()
 		counts := p.CountCells(*res)
-		for _, k := range domain.Kinds() {
+		for _, k := range passivespread.DomainKinds() {
 			if counts[k] > 0 {
 				fmt.Printf("  %-8s %6d cells\n", k, counts[k])
 			}

@@ -16,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"passivespread/internal/experiment"
+	"passivespread"
 )
 
 func main() {
@@ -32,7 +32,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiment.All() {
+		for _, e := range passivespread.Experiments() {
 			fmt.Printf("%s  %-55s  [%s]\n", e.ID, e.Title, e.PaperRef)
 		}
 		return
@@ -41,7 +41,7 @@ func main() {
 	var ids []string
 	switch {
 	case *all:
-		for _, e := range experiment.All() {
+		for _, e := range passivespread.Experiments() {
 			ids = append(ids, e.ID)
 		}
 	case *runIDs != "":
@@ -54,10 +54,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiment.Config{Seed: *seed, Quick: *quick, Parallelism: *workers}
+	cfg := passivespread.ExperimentConfig{Seed: *seed, Quick: *quick, Parallelism: *workers}
 	failed := 0
 	for _, id := range ids {
-		e, ok := experiment.Lookup(id)
+		e, ok := passivespread.LookupExperiment(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			failed++
@@ -70,9 +70,9 @@ func main() {
 			continue
 		}
 		if *format == "markdown" {
-			fmt.Println(experiment.RenderMarkdown(rep))
+			fmt.Println(passivespread.RenderExperimentMarkdown(rep))
 		} else {
-			fmt.Println(experiment.RenderText(rep))
+			fmt.Println(passivespread.RenderExperimentText(rep))
 		}
 	}
 	if failed > 0 {

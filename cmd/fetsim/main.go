@@ -1,66 +1,56 @@
-// Command fetsim runs a single population simulation and prints the
-// convergence outcome, optionally with the full x_t trajectory.
+// Command fetsim runs population simulations and prints the convergence
+// outcome, optionally with the full x_t trajectory or, with -replicates,
+// an aggregate study over many seeded runs.
 //
 // Usage:
 //
 //	fetsim -n 1024 [-protocol fet] [-init all-wrong] [-seed 1] [-trajectory]
 //	fetsim -n 100000000 -engine aggregate
 //	fetsim -n 1000000 -engine parallel [-workers 8]
+//	fetsim -n 4096 -replicates 100 [-jobs 8]
+//	fetsim -n 1000000000 -engine chain -replicates 50
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"passivespread/internal/adversary"
-	"passivespread/internal/core"
-	"passivespread/internal/dynamics"
-	"passivespread/internal/sim"
+	"passivespread"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 1024, "population size (including sources)")
-		ell      = flag.Int("ell", 0, "per-half sample size ℓ (0 = ⌈3·log₂ n⌉)")
-		protocol = flag.String("protocol", "fet", "protocol: fet, simple, voter, 3maj, undecided")
-		initName = flag.String("init", "all-wrong", "initial config: all-wrong, uniform, half, fraction=<x>")
-		correct  = flag.Int("correct", 1, "the source's opinion (0 or 1)")
-		sources  = flag.Int("sources", 1, "number of agreeing sources")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		rounds   = flag.Int("rounds", 0, "round cap (0 = 400·log₂ n)")
-		engine   = flag.String("engine", "fast", "engine: fast, exact, parallel or aggregate")
-		workers  = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
-		traj     = flag.Bool("trajectory", false, "print x_t per round")
+		n          = flag.Int("n", 1024, "population size (including sources)")
+		ell        = flag.Int("ell", 0, "per-half sample size ℓ (0 = ⌈3·log₂ n⌉)")
+		protocol   = flag.String("protocol", "fet", "protocol: fet, simple, voter, 3maj, undecided")
+		initName   = flag.String("init", "all-wrong", "initial config: all-wrong, uniform, half, fraction=<x>")
+		correct    = flag.Int("correct", 1, "the source's opinion (0 or 1)")
+		sources    = flag.Int("sources", 1, "number of agreeing sources")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		rounds     = flag.Int("rounds", 0, "round cap (0 = 400·log₂ n)")
+		engine     = flag.String("engine", "fast", "engine: fast, exact, parallel, aggregate or chain")
+		workers    = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
+		replicates = flag.Int("replicates", 1, "number of replicate runs (a study when > 1)")
+		jobs       = flag.Int("jobs", 0, "concurrent replicates (0 = GOMAXPROCS)")
+		traj       = flag.Bool("trajectory", false, "print x_t per round")
 	)
 	flag.Parse()
 
 	if *correct != 0 && *correct != 1 {
 		fatalf("-correct must be 0 or 1")
 	}
+	if *replicates > 1 && *traj {
+		fatalf("-trajectory requires -replicates 1")
+	}
 	correctBit := byte(*correct)
 
-	sampleEll := *ell
-	if sampleEll == 0 {
-		sampleEll = core.SampleSize(*n, core.DefaultC)
-	}
-
-	var proto sim.Protocol
-	switch *protocol {
-	case "fet":
-		proto = core.NewFET(sampleEll)
-	case "simple":
-		proto = core.NewSimpleTrend(sampleEll)
-	case "voter":
-		proto = dynamics.Voter{}
-	case "3maj":
-		proto = dynamics.ThreeMajority{}
-	case "undecided":
-		proto = dynamics.Undecided{}
-	default:
-		fatalf("unknown protocol %q", *protocol)
+	engineKind, err := passivespread.ParseEngine(*engine)
+	if err != nil {
+		fatalf("unknown engine %q", *engine)
 	}
 
 	init, err := parseInit(*initName, correctBit)
@@ -68,37 +58,95 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	maxRounds := *rounds
-	if maxRounds == 0 {
-		maxRounds = 400 * log2ceil(*n)
+	var (
+		study     *passivespread.Study
+		protoName string
+		initLabel = init.Name()
+	)
+	if engineKind == passivespread.EngineMarkovChain {
+		// The chain engine runs through the Options form of a study: FET
+		// only, opinion-symmetric, deterministic-fraction starts.
+		if *protocol != "fet" {
+			fatalf("-engine chain supports only -protocol fet")
+		}
+		study, err = passivespread.NewStudy(passivespread.StudySpec{
+			Replicates: *replicates,
+			Workers:    *jobs,
+			Options: passivespread.Options{
+				N:                *n,
+				Ell:              *ell,
+				Seed:             *seed,
+				CorrectZero:      correctBit == passivespread.OpinionZero,
+				Sources:          *sources,
+				Init:             init,
+				MaxRounds:        *rounds,
+				Engine:           engineKind,
+				RecordTrajectory: *traj,
+			},
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		proto, err := parseProtocol(*protocol, *ell, *n)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		protoName = proto.Name()
+	} else {
+		proto, err := parseProtocol(*protocol, *ell, *n)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		protoName = proto.Name()
+		cfg := passivespread.Config{
+			N:                *n,
+			Sources:          *sources,
+			Correct:          correctBit,
+			Protocol:         proto,
+			Init:             init,
+			Seed:             *seed,
+			MaxRounds:        *rounds,
+			Engine:           engineKind,
+			Parallelism:      *workers,
+			CorruptStates:    true,
+			RecordTrajectory: *traj,
+		}
+		if cfg.MaxRounds == 0 {
+			cfg.MaxRounds = passivespread.DefaultMaxRounds(*n)
+		}
+		study, err = passivespread.NewStudy(passivespread.StudySpec{
+			Replicates: *replicates,
+			Workers:    *jobs,
+			Config:     &cfg,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 
-	engineKind, err := sim.ParseEngineKind(*engine)
-	if err != nil {
-		fatalf("unknown engine %q", *engine)
-	}
+	fmt.Printf("protocol   %s\n", protoName)
+	fmt.Printf("population %d (%d source(s), correct opinion %d)\n", *n, *sources, correctBit)
+	fmt.Printf("init       %s\n", initLabel)
+	fmt.Printf("engine     %s, seed %d\n", passivespread.EngineName(engineKind), *seed)
 
-	res, err := sim.Run(sim.Config{
-		N:                *n,
-		Sources:          *sources,
-		Correct:          correctBit,
-		Protocol:         proto,
-		Init:             init,
-		Seed:             *seed,
-		MaxRounds:        maxRounds,
-		Engine:           engineKind,
-		Parallelism:      *workers,
-		CorruptStates:    true,
-		RecordTrajectory: *traj,
-	})
+	report, err := study.Run(context.Background())
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	fmt.Printf("protocol   %s\n", proto.Name())
-	fmt.Printf("population %d (%d source(s), correct opinion %d)\n", *n, *sources, correctBit)
-	fmt.Printf("init       %s\n", init.Name())
-	fmt.Printf("engine     %s, seed %d\n", engineKind, *seed)
+	if *replicates > 1 {
+		conv := report.Convergence
+		fmt.Printf("replicates %d across %d workers\n", study.Replicates(), study.Workers())
+		fmt.Printf("converged  %d/%d (%.1f%%)\n", conv.Converged, conv.Replicates, 100*conv.SuccessRate)
+		fmt.Printf("t_con      mean %.1f, median %.1f, p95 %.1f, max %.0f\n",
+			conv.Rounds.Mean, conv.Rounds.Median, conv.Rounds.P95, conv.Rounds.Max)
+		if conv.Converged < conv.Replicates {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res := report.Results[0].Result
 	if res.Converged {
 		fmt.Printf("converged  yes: t_con = %d (of %d executed rounds)\n", res.Round, res.Rounds)
 	} else {
@@ -114,34 +162,44 @@ func main() {
 	}
 }
 
-func parseInit(name string, correct byte) (sim.Initializer, error) {
+func parseProtocol(name string, ell, n int) (passivespread.Protocol, error) {
+	sampleEll := ell
+	if sampleEll == 0 {
+		sampleEll = passivespread.SampleSize(n)
+	}
+	switch name {
+	case "fet":
+		return passivespread.NewFET(sampleEll), nil
+	case "simple":
+		return passivespread.NewSimpleTrend(sampleEll), nil
+	case "voter":
+		return passivespread.Voter(), nil
+	case "3maj":
+		return passivespread.ThreeMajority(), nil
+	case "undecided":
+		return passivespread.UndecidedState(), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func parseInit(name string, correct byte) (passivespread.Initializer, error) {
 	switch {
 	case name == "all-wrong":
-		return adversary.AllWrong{Correct: correct}, nil
+		return passivespread.AllWrong(correct), nil
 	case name == "uniform":
-		return adversary.Uniform{}, nil
+		return passivespread.UniformInit(), nil
 	case name == "half":
-		return adversary.HalfSplit(), nil
+		return passivespread.HalfInit(), nil
 	case strings.HasPrefix(name, "fraction="):
 		x, err := strconv.ParseFloat(strings.TrimPrefix(name, "fraction="), 64)
 		if err != nil || x < 0 || x > 1 {
 			return nil, fmt.Errorf("bad fraction in %q", name)
 		}
-		return adversary.Fraction{X: x}, nil
+		return passivespread.FractionInit(x), nil
 	default:
 		return nil, fmt.Errorf("unknown init %q", name)
 	}
-}
-
-func log2ceil(n int) int {
-	k := 0
-	for v := 1; v < n; v <<= 1 {
-		k++
-	}
-	if k == 0 {
-		k = 1
-	}
-	return k
 }
 
 func bar(x float64, width int) string {

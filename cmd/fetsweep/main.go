@@ -9,33 +9,33 @@
 // (sharded agent engine), aggregate (occupancy-vector engine), or chain
 // (the (K_t, K_{t+1}) Markov chain). aggregate and chain scale to
 // populations of hundreds of millions; -chain is kept as an alias.
+//
+// Each population size runs as one Study: trials fan out across the
+// worker pool with replicate seeds derived from the root seed, so any
+// -jobs value produces identical numbers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"strconv"
 	"strings"
 
-	"passivespread/internal/adversary"
-	"passivespread/internal/core"
-	"passivespread/internal/markov"
-	"passivespread/internal/sim"
-	"passivespread/internal/stats"
-	"passivespread/internal/tablefmt"
+	"passivespread"
 )
 
 func main() {
 	var (
 		nsFlag  = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
 		trials  = flag.Int("trials", 40, "trials per population size")
-		engine  = flag.String("engine", "fast", "engine: fast, parallel, aggregate or chain")
+		engine  = flag.String("engine", "fast", "engine: fast, exact, parallel, aggregate or chain")
 		chain   = flag.Bool("chain", false, "alias for -engine chain")
-		workers = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
+		jobs    = flag.Int("jobs", 0, "concurrent trials (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "worker goroutines per trial for -engine parallel (0 = GOMAXPROCS)")
 		seed    = flag.Uint64("seed", 42, "root random seed")
-		c       = flag.Float64("c", core.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
+		c       = flag.Float64("c", passivespread.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
 	)
 	flag.Parse()
 
@@ -48,14 +48,10 @@ func main() {
 		}
 		*engine = "chain"
 	}
-	var engineKind sim.EngineKind
-	if *engine != "chain" { // the chain engine simulates (K_t, K_{t+1}) separately below
-		var err error
-		engineKind, err = sim.ParseEngineKind(*engine)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-			os.Exit(2)
-		}
+	engineKind, err := passivespread.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
 	}
 
 	ns, err := parseNs(*nsFlag)
@@ -64,57 +60,41 @@ func main() {
 		os.Exit(2)
 	}
 
-	tab := tablefmt.New("n", "ℓ", "trials", "mean", "median", "p95", "max")
+	tab := passivespread.NewTable("n", "ℓ", "trials", "converged", "mean", "median", "p95", "max")
 	medians := make([]float64, 0, len(ns))
 	for _, n := range ns {
-		ell := core.SampleSize(n, *c)
-		cap := 400 * int(math.Ceil(math.Log2(float64(n))))
-		times := make([]float64, *trials)
-		for trial := range times {
-			trialSeed := *seed ^ uint64(n)<<20 ^ uint64(trial)
-			if *engine == "chain" {
-				ch := markov.New(n, ell, trialSeed)
-				rounds, ok := ch.HittingTime(ch.StateAt(0, 0), cap)
-				if !ok {
-					rounds = cap
-				}
-				times[trial] = float64(rounds)
-				continue
-			}
-			res, err := sim.Run(sim.Config{
-				N:             n,
-				Protocol:      core.NewFET(ell),
-				Init:          adversary.AllWrong{Correct: sim.OpinionOne},
-				Correct:       sim.OpinionOne,
-				Engine:        engineKind,
-				Parallelism:   *workers,
-				Seed:          trialSeed,
-				MaxRounds:     cap,
-				CorruptStates: true,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if !res.Converged {
-				times[trial] = float64(cap)
-			} else {
-				times[trial] = float64(res.Round)
-			}
+		ell := passivespread.SampleSizeC(n, *c)
+		study, err := passivespread.NewStudy(passivespread.StudySpec{
+			Replicates: *trials,
+			Workers:    *jobs,
+			Options: passivespread.Options{
+				N:           n,
+				Ell:         ell,
+				Seed:        *seed ^ uint64(n)<<20,
+				Engine:      engineKind,
+				Parallelism: *workers,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		s := stats.Summarize(times)
-		tab.AddRow(n, ell, *trials, s.Mean, s.Median, s.P95, s.Max)
-		medians = append(medians, s.Median)
+		report, err := study.Run(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conv := report.Convergence
+		tab.AddRow(n, ell, *trials, fmt.Sprintf("%d/%d", conv.Converged, conv.Replicates),
+			conv.Rounds.Mean, conv.Rounds.Median, conv.Rounds.P95, conv.Rounds.Max)
+		medians = append(medians, conv.Rounds.Median)
 	}
 
-	engineName := engineKind.String()
-	if *engine == "chain" {
-		engineName = "markov-chain"
-	}
-	fmt.Printf("FET convergence sweep (engine %s, all-wrong start, ℓ = ⌈%g·log₂n⌉)\n\n", engineName, *c)
+	fmt.Printf("FET convergence sweep (engine %s, all-wrong start, ℓ = ⌈%g·log₂n⌉)\n\n",
+		passivespread.EngineName(engineKind), *c)
 	fmt.Print(tab.String())
 	if len(ns) >= 2 {
-		fit := stats.FitPolylog(ns, medians)
+		fit := passivespread.FitPolylog(ns, medians)
 		fmt.Printf("\npolylog fit: t_con ≈ %.2f·(ln n)^%.2f (R² = %.3f); paper bound exponent 5/2\n",
 			fit.Coefficient, fit.Exponent, fit.R2)
 	}

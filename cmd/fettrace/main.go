@@ -16,11 +16,7 @@ import (
 	"fmt"
 	"os"
 
-	"passivespread/internal/adversary"
-	"passivespread/internal/core"
-	"passivespread/internal/domain"
-	"passivespread/internal/sim"
-	"passivespread/internal/trace"
+	"passivespread"
 )
 
 func main() {
@@ -39,13 +35,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	ell := core.SampleSize(*n, core.DefaultC)
-	gs := adversary.GridStart{X0: *x0, X1: *x1, Ell: ell}
-	res, err := sim.Run(sim.Config{
+	ell := passivespread.SampleSize(*n)
+	gs := passivespread.GridStart{X0: *x0, X1: *x1, Ell: ell}
+	res, err := passivespread.Run(passivespread.Config{
 		N:                *n,
-		Protocol:         core.NewFET(ell),
+		Protocol:         passivespread.NewFET(ell),
 		Init:             gs.Init(),
-		Correct:          sim.OpinionOne,
+		Correct:          passivespread.OpinionOne,
 		Seed:             *seed,
 		MaxRounds:        *rounds,
 		StateInit:        gs.StateInit(),
@@ -56,7 +52,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	tr := trace.FromTrajectory(domain.NewParams(*n), *x0, res.Trajectory)
+	tr := passivespread.TraceFromTrajectory(passivespread.NewDomainParams(*n), *x0, res.Trajectory)
 	if *asCSV {
 		fmt.Print(tr.CSV())
 	} else {

@@ -16,11 +16,6 @@ import (
 	"math"
 
 	"passivespread"
-	"passivespread/internal/adversary"
-	"passivespread/internal/clocked"
-	"passivespread/internal/core"
-	"passivespread/internal/dynamics"
-	"passivespread/internal/sim"
 )
 
 const n = 1024
@@ -33,20 +28,20 @@ func main() {
 	fmt.Printf("%-28s %-10s %s\n", "protocol", "passive?", "outcome")
 
 	protocols := []struct {
-		proto   sim.Protocol
+		proto   passivespread.Protocol
 		passive string
 	}{
-		{dynamics.Voter{}, "yes"},
-		{dynamics.ThreeMajority{}, "yes"},
-		{dynamics.Undecided{}, "yes"},
-		{core.NewFET(ell), "yes"},
+		{passivespread.Voter(), "yes"},
+		{passivespread.ThreeMajority(), "yes"},
+		{passivespread.UndecidedState(), "yes"},
+		{passivespread.NewFET(ell), "yes"},
 	}
 	for i, p := range protocols {
-		res, err := sim.Run(sim.Config{
+		res, err := passivespread.Run(passivespread.Config{
 			N:             n,
 			Protocol:      p.proto,
-			Init:          adversary.Fraction{X: 0.1},
-			Correct:       sim.OpinionOne,
+			Init:          passivespread.FractionInit(0.1),
+			Correct:       passivespread.OpinionOne,
 			Seed:          uint64(10 + i),
 			MaxRounds:     horizon,
 			CorruptStates: true,
@@ -59,19 +54,19 @@ func main() {
 
 	// The clocked baseline, in both clock models.
 	for _, m := range []struct {
-		mode   clocked.Mode
+		mode   passivespread.ClockedMode
 		desync bool
 		label  string
 	}{
-		{clocked.ModeSharedClock, false, "Clocked phases (shared clock)"},
-		{clocked.ModeLocalClocks, true, "Clocked phases (desynced)"},
+		{passivespread.ModeSharedClock, false, "Clocked phases (shared clock)"},
+		{passivespread.ModeLocalClocks, true, "Clocked phases (desynced)"},
 	} {
-		res, err := clocked.Run(clocked.Config{
+		res, err := passivespread.RunClocked(passivespread.ClockedConfig{
 			N:            n,
-			Correct:      sim.OpinionOne,
+			Correct:      passivespread.OpinionOne,
 			Mode:         m.mode,
 			DesyncClocks: m.desync,
-			Init:         adversary.Fraction{X: 0.1},
+			Init:         passivespread.FractionInit(0.1),
 			Seed:         20,
 			MaxRounds:    horizon,
 		})
@@ -79,7 +74,7 @@ func main() {
 			log.Fatal(err)
 		}
 		passive := "yes*"
-		if m.mode == clocked.ModeLocalClocks {
+		if m.mode == passivespread.ModeLocalClocks {
 			passive = "NO"
 		}
 		fmt.Printf("%-28s %-10s %s\n", m.label, passive, outcome(res.Converged, res.Round, res.FinalX))

@@ -52,12 +52,19 @@ func runE19(cfg Config) (*Report, error) {
 	trials := pick(cfg, 30, 6)
 	ell := core.SampleSize(n, core.DefaultC)
 	cap := 800 * int(math.Log2(float64(n)))
+	epsilons := []float64{0, 0.01, 0.05, 0.1, 0.2, 0.3}
+	if cfg.Smoke {
+		// High noise stretches convergence toward the cap; the smoke
+		// scale keeps one noisy point per regime.
+		cap = 200 * int(math.Log2(float64(n)))
+		epsilons = []float64{0, 0.1}
+	}
 
 	tab := tablefmt.New("noise ε", "trials", "converged", "median t_con", "p95", "median final x")
-	for _, eps := range []float64{0, 0.01, 0.05, 0.1, 0.2, 0.3} {
+	for _, eps := range epsilons {
 		eps := eps
-		type outcome struct{ t, finalX float64 }
-		outcomes := make([]outcome, trials)
+		finalXs := make([]float64, trials)
+		converged := make([]bool, trials)
 		times := parallelTimes(cfg, trials, func(trial int) float64 {
 			res, err := sim.Run(sim.Config{
 				N:             n,
@@ -72,23 +79,17 @@ func runE19(cfg Config) (*Report, error) {
 			if err != nil {
 				panic(err)
 			}
-			outcomes[trial].finalX = res.FinalX
+			finalXs[trial] = res.FinalX
+			converged[trial] = res.Converged
 			if !res.Converged {
 				return float64(cap)
 			}
 			return float64(res.Round)
 		})
-		converged := 0
-		finalXs := make([]float64, trials)
-		for i, t := range times {
-			if t < float64(cap) {
-				converged++
-			}
-			finalXs[i] = outcomes[i].finalX
-		}
-		s := stats.Summarize(times)
+		conv := stats.SummarizeConvergence(times, converged)
 		fx := stats.Summarize(finalXs)
-		tab.AddRow(eps, trials, fmt.Sprintf("%d/%d", converged, trials), s.Median, s.P95, fx.Median)
+		tab.AddRow(eps, trials, fmt.Sprintf("%d/%d", conv.Converged, conv.Replicates),
+			conv.Rounds.Median, conv.Rounds.P95, fx.Median)
 	}
 	rep.AddTable(fmt.Sprintf("n = %d, all-wrong start, each observed bit flipped w.p. ε", n), tab)
 	rep.AddNote("the trend comparison is invariant to the affine squeeze of the " +

@@ -152,24 +152,28 @@ func runE13(cfg Config) (*Report, error) {
 	trials := pick(cfg, 30, 6)
 	cap := 3000 * int(math.Log2(float64(n)))
 	ells := []int{1, 2, 4, 8, 16, 24, core.SampleSize(n, core.DefaultC)}
+	if cfg.Smoke {
+		// The ℓ ∈ {1, 2} heavy tails dominate the quick run (tens of
+		// seconds at the full cap); the smoke scale keeps the shape of
+		// the sweep without them.
+		cap = 200 * int(math.Log2(float64(n)))
+		ells = []int{4, 8, core.SampleSize(n, core.DefaultC)}
+	}
 
 	tab := tablefmt.New("ℓ", "samples/round", "trials", "median t_con", "p95", "converged")
 	for _, ell := range ells {
 		ell := ell
+		converged := make([]bool, trials)
 		times := parallelTimes(cfg, trials, func(trial int) float64 {
 			seed := cfg.Seed ^ uint64(ell)<<24 ^ uint64(trial)
-			return fetTrial(n, ell, adversary.AllWrong{Correct: sim.OpinionOne},
+			t := fetTrial(n, ell, adversary.AllWrong{Correct: sim.OpinionOne},
 				sim.EngineAgentFast, seed, cap)
+			converged[trial] = t < float64(cap)
+			return t
 		})
-		s := stats.Summarize(times)
-		converged := 0
-		for _, t := range times {
-			if t < float64(cap) {
-				converged++
-			}
-		}
-		tab.AddRow(ell, 2*ell, trials, s.Median, s.P95,
-			fmt.Sprintf("%d/%d", converged, trials))
+		conv := stats.SummarizeConvergence(times, converged)
+		tab.AddRow(ell, 2*ell, trials, conv.Rounds.Median, conv.Rounds.P95,
+			fmt.Sprintf("%d/%d", conv.Converged, conv.Replicates))
 	}
 	rep.AddTable(fmt.Sprintf("n = %d, all-wrong start", n), tab)
 	rep.AddNote("the paper leaves poly-log convergence with O(1) samples open (§5); " +

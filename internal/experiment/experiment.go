@@ -21,6 +21,12 @@ type Config struct {
 	// Quick shrinks sweeps and trial counts for CI and unit tests. The
 	// full-size run is the one recorded in EXPERIMENTS.md.
 	Quick bool
+	// Smoke additionally caps the few Quick sweeps that still run for
+	// tens of seconds (the heavy-tail configurations of E13 and E19) to a
+	// bare smoke scale, so the package tests exercise every experiment
+	// end-to-end without dominating `go test ./...`. Implies Quick;
+	// results are exercised, not meaningful.
+	Smoke bool
 	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
 	Parallelism int
 }
@@ -32,9 +38,9 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// pick returns quick when Quick is set, else full.
+// pick returns quick when Quick (or Smoke) is set, else full.
 func pick[T any](c Config, full, quick T) T {
-	if c.Quick {
+	if c.Quick || c.Smoke {
 		return quick
 	}
 	return full

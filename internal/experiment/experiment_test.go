@@ -45,8 +45,9 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 	register(Experiment{ID: "E01", Title: "dup", PaperRef: "x", Run: nil})
 }
 
-// TestAllExperimentsRunQuick executes every registered experiment in Quick
-// mode: the harness's end-to-end integration test.
+// TestAllExperimentsRunQuick executes every registered experiment at the
+// smoke scale (Quick sizes with the heavy-tail sweeps capped): the
+// harness's end-to-end integration test, fast enough for `go test ./...`.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick experiment sweep still takes seconds; skipped in -short")
@@ -55,7 +56,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			rep, err := e.Run(Config{Seed: 42, Quick: true})
+			rep, err := e.Run(Config{Seed: 42, Smoke: true})
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -122,6 +123,9 @@ func TestParallelTimesSerialPath(t *testing.T) {
 func TestPickQuick(t *testing.T) {
 	if got := pick(Config{Quick: true}, 10, 2); got != 2 {
 		t.Fatalf("quick pick %d", got)
+	}
+	if got := pick(Config{Smoke: true}, 10, 2); got != 2 {
+		t.Fatalf("smoke pick %d", got)
 	}
 	if got := pick(Config{}, 10, 2); got != 10 {
 		t.Fatalf("full pick %d", got)

@@ -204,10 +204,10 @@ func TestChainMatchesAgentEngineOneStep(t *testing.T) {
 			Seed:      uint64(3000 + trial),
 			MaxRounds: 1,
 			StateInit: gs.StateInit(),
-			OnRound: func(_ int, x float64) bool {
-				first = x
-				return false
-			},
+			Observers: []sim.Observer{sim.StopWhen(func(ev sim.RoundEvent) bool {
+				first = ev.X
+				return true
+			})},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -40,14 +40,25 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// StreamSeed derives the seed of child stream i from a root seed. It is
+// the single stream-derivation rule of the repository: per-agent, per-trial
+// and per-replicate generators are all seeded with StreamSeed(root, i), so
+// NewFrom(root, i) ≡ New(StreamSeed(root, i)). Distinct stream indices
+// yield decorrelated seeds, and the derivation depends only on (root, i) —
+// never on execution order — which is what makes batch runs reproducible
+// at any parallelism.
+func StreamSeed(seed uint64, stream uint64) uint64 {
+	st := seed
+	_ = SplitMix64(&st)
+	st ^= 0xd1342543de82ef95 * (stream + 1)
+	return SplitMix64(&st)
+}
+
 // NewFrom derives a child Source from a parent seed and a stream index.
 // It is the canonical way to obtain per-trial or per-agent generators:
 // NewFrom(root, i) and NewFrom(root, j) are decorrelated for i ≠ j.
 func NewFrom(seed uint64, stream uint64) *Source {
-	st := seed
-	_ = SplitMix64(&st)
-	st ^= 0xd1342543de82ef95 * (stream + 1)
-	return New(SplitMix64(&st))
+	return New(StreamSeed(seed, stream))
 }
 
 // Reseed resets the Source to the state derived from seed.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"passivespread/internal/rng"
@@ -52,11 +54,11 @@ type Config struct {
 	// start the chain at a chosen grid point. Not supported by
 	// EngineAggregate (which has no per-agent objects).
 	StateInit func(i int, agent Agent, src *rng.Source)
-	// OnRound, when non-nil, is invoked after every round with the round
-	// index and the new fraction of 1-opinions. Returning false stops the
-	// run early (reported as stopped, not converged unless already
-	// absorbed).
-	OnRound func(round int, x float64) bool
+	// Observers receive a typed RoundEvent after every executed round, in
+	// order. An observer returning ErrStopRun stops the run early
+	// (reported as StoppedEarly, not converged unless already absorbed);
+	// any other error aborts the run.
+	Observers []Observer
 	// NoiseEps, when positive, flips every observed opinion bit
 	// independently with probability NoiseEps before the agent sees it —
 	// the noisy-communication model of Feinerman et al. (2017) and
@@ -86,7 +88,7 @@ type Result struct {
 	// Trajectory holds x_t for t = 0..Rounds when requested (x_0 is the
 	// initial configuration).
 	Trajectory []float64
-	// StoppedEarly reports that OnRound requested a stop.
+	// StoppedEarly reports that an Observer requested a stop.
 	StoppedEarly bool
 }
 
@@ -131,14 +133,32 @@ func (c *Config) withDefaults() (Config, error) {
 	return cfg, nil
 }
 
+// Validate reports whether the configuration would be accepted by Run,
+// without executing anything. It lets batch runners reject a bad
+// replicate template up front instead of once per replicate.
+func (c *Config) Validate() error {
+	_, err := c.withDefaults()
+	return err
+}
+
 // Run executes the simulation described by cfg and returns its result.
-//
-// Run is a thin orchestrator: it owns the round loop and all bookkeeping
-// (absorption detection, trajectory recording, mid-run environment flips,
-// early stops) while the population itself is advanced by a roundExecutor
-// selected via Config.Engine. All executors implement the same
-// synchronous-round semantics, so the bookkeeping is engine-independent.
+// It is RunContext with a background context.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the simulation described by cfg, honoring ctx
+// inside the round loop: cancellation or deadline expiry is checked
+// between rounds, and the run returns ctx.Err() within one round of the
+// context ending.
+//
+// RunContext is a thin orchestrator: it owns the round loop and all
+// bookkeeping (absorption detection, observer dispatch, mid-run
+// environment flips, early stops) while the population itself is
+// advanced by a roundExecutor selected via Config.Engine. All executors
+// implement the same synchronous-round semantics, so the bookkeeping is
+// engine-independent.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return Result{}, err
@@ -159,9 +179,15 @@ func Run(cfg Config) (Result, error) {
 
 	res := Result{Round: -1}
 	ones := exec.Ones()
+
+	// Trajectory recording is an Observer instance; x_0 precedes the
+	// first event, so the orchestrator seeds it here.
+	observers := c.Observers
+	var rec *TrajectoryRecorder
 	if c.RecordTrajectory {
-		res.Trajectory = make([]float64, 0, c.MaxRounds+1)
-		res.Trajectory = append(res.Trajectory, float64(ones)/float64(n))
+		rec = &TrajectoryRecorder{Xs: make([]float64, 0, c.MaxRounds+1)}
+		rec.Xs = append(rec.Xs, float64(ones)/float64(n))
+		observers = append(append(make([]Observer, 0, len(observers)+1), observers...), rec)
 	}
 
 	correctRun := 0
@@ -176,6 +202,9 @@ func Run(cfg Config) (Result, error) {
 
 	round := 0
 	for ; round < c.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if c.FlipCorrectAt > 0 && round == c.FlipCorrectAt {
 			// The environment changed: sources switch to the new correct
 			// opinion and convergence is judged against it from here on.
@@ -191,10 +220,6 @@ func Run(cfg Config) (Result, error) {
 		ones = exec.Ones()
 
 		newX := float64(ones) / float64(n)
-		if c.RecordTrajectory {
-			res.Trajectory = append(res.Trajectory, newX)
-		}
-
 		if allCorrect(ones) {
 			correctRun++
 		} else {
@@ -207,7 +232,20 @@ func Run(cfg Config) (Result, error) {
 			absorbedAt = round + 1 - correctRun + 1 // first round of the run
 		}
 
-		if c.OnRound != nil && !c.OnRound(round, newX) {
+		stop := false
+		ev := RoundEvent{Round: round, X: newX, Ones: ones, Correct: correct, Absorbed: absorbed}
+		for _, obs := range observers {
+			if err := obs.ObserveRound(ev); err != nil {
+				if errors.Is(err, ErrStopRun) {
+					// A stop request still lets the remaining observers
+					// (including the trajectory recorder) see the event.
+					stop = true
+					continue
+				}
+				return Result{}, err
+			}
+		}
+		if stop {
 			res.StoppedEarly = true
 			round++
 			break
@@ -224,6 +262,9 @@ func Run(cfg Config) (Result, error) {
 	res.Converged = absorbed
 	if absorbed {
 		res.Round = absorbedAt
+	}
+	if rec != nil {
+		res.Trajectory = rec.Xs
 	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -307,12 +309,17 @@ func TestTrajectoryRecording(t *testing.T) {
 	}
 }
 
-func TestOnRoundEarlyStop(t *testing.T) {
+func TestObserverEarlyStop(t *testing.T) {
 	cfg := baseConfig()
 	calls := 0
-	cfg.OnRound = func(round int, x float64) bool {
-		calls++
-		return round < 4
+	cfg.Observers = []Observer{
+		ObserverFunc(func(ev RoundEvent) error {
+			calls++
+			if ev.Round >= 4 {
+				return ErrStopRun
+			}
+			return nil
+		}),
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -325,7 +332,62 @@ func TestOnRoundEarlyStop(t *testing.T) {
 		t.Fatalf("Rounds = %d, want 5 (stop requested after round index 4)", res.Rounds)
 	}
 	if calls != 5 {
-		t.Fatalf("OnRound called %d times", calls)
+		t.Fatalf("observer called %d times", calls)
+	}
+}
+
+func TestObserverErrorAbortsRun(t *testing.T) {
+	cfg := baseConfig()
+	boom := errors.New("boom")
+	cfg.Observers = []Observer{
+		ObserverFunc(func(ev RoundEvent) error {
+			if ev.Round == 2 {
+				return boom
+			}
+			return nil
+		}),
+	}
+	if _, err := Run(cfg); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the observer's error", err)
+	}
+}
+
+func TestStopWhenObserver(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Observers = []Observer{StopWhen(func(ev RoundEvent) bool { return ev.Round == 3 })}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly || res.Rounds != 4 {
+		t.Fatalf("res = %+v, want StoppedEarly after 4 rounds", res)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxRounds = 1 << 20
+	cfg.RunToEnd = true
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Observers = []Observer{
+		ObserverFunc(func(ev RoundEvent) error {
+			if ev.Round == 5 {
+				cancel()
+			}
+			return nil
+		}),
+	}
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, baseConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,70 @@
+package sim
+
+import "errors"
+
+// RoundEvent is the typed per-round notification delivered to Observers:
+// a snapshot of the population right after one synchronous round was
+// executed and the orchestrator's bookkeeping ran.
+type RoundEvent struct {
+	// Round is the 0-based index of the round just executed.
+	Round int
+	// X is the fraction of 1-opinions after the round.
+	X float64
+	// Ones is the number of 1-opinions after the round, sources included.
+	Ones int
+	// Correct is the opinion the sources currently display (it can change
+	// mid-run under Config.FlipCorrectAt).
+	Correct byte
+	// Absorbed reports whether the absorption criterion is currently met;
+	// unless Config.RunToEnd is set, this is the run's final event.
+	Absorbed bool
+}
+
+// Observer receives a RoundEvent after every executed round. Returning
+// ErrStopRun requests a clean early stop (the run reports StoppedEarly);
+// any other non-nil error aborts the run and is returned from Run.
+//
+// Observers are the orchestrator's only extension point: trajectory
+// recording (TrajectoryRecorder) and early-stop predicates (StopWhen) are
+// ordinary Observer instances, and Config.RecordTrajectory is implemented
+// by attaching a TrajectoryRecorder internally.
+type Observer interface {
+	ObserveRound(ev RoundEvent) error
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(ev RoundEvent) error
+
+// ObserveRound implements Observer.
+func (f ObserverFunc) ObserveRound(ev RoundEvent) error { return f(ev) }
+
+// ErrStopRun is returned by an Observer to request a clean early stop.
+// The orchestrator converts it into Result.StoppedEarly instead of
+// propagating it as an error.
+var ErrStopRun = errors.New("sim: observer requested stop")
+
+// StopWhen returns an Observer that requests an early stop as soon as
+// pred returns true. All observers still see the stopping round's event.
+func StopWhen(pred func(ev RoundEvent) bool) Observer {
+	return ObserverFunc(func(ev RoundEvent) error {
+		if pred(ev) {
+			return ErrStopRun
+		}
+		return nil
+	})
+}
+
+// TrajectoryRecorder is an Observer that records x_t for every observed
+// round. The orchestrator uses it to implement Config.RecordTrajectory
+// (prepending x_0, which precedes the first event); attached explicitly
+// via Config.Observers it collects the per-round fractions alone.
+type TrajectoryRecorder struct {
+	// Xs holds one entry per observed round, in round order.
+	Xs []float64
+}
+
+// ObserveRound implements Observer.
+func (r *TrajectoryRecorder) ObserveRound(ev RoundEvent) error {
+	r.Xs = append(r.Xs, ev.X)
+	return nil
+}

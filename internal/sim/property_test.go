@@ -58,22 +58,24 @@ func TestAbsorbWindowSemantics(t *testing.T) {
 	}
 }
 
-// TestTrajectoryMatchesOnRound: the OnRound callback and the recorded
-// trajectory must agree exactly.
-func TestTrajectoryMatchesOnRound(t *testing.T) {
+// TestTrajectoryMatchesObserver: the per-round observer events and the
+// recorded trajectory must agree exactly.
+func TestTrajectoryMatchesObserver(t *testing.T) {
 	var seen []float64
 	cfg := baseConfig()
 	cfg.RecordTrajectory = true
-	cfg.OnRound = func(_ int, x float64) bool {
-		seen = append(seen, x)
-		return true
+	cfg.Observers = []Observer{
+		ObserverFunc(func(ev RoundEvent) error {
+			seen = append(seen, ev.X)
+			return nil
+		}),
 	}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(seen) != len(res.Trajectory)-1 {
-		t.Fatalf("OnRound saw %d values, trajectory has %d", len(seen), len(res.Trajectory))
+		t.Fatalf("observer saw %d values, trajectory has %d", len(seen), len(res.Trajectory))
 	}
 	for i, x := range seen {
 		if res.Trajectory[i+1] != x {

@@ -60,6 +60,40 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Convergence aggregates replicate convergence outcomes: how many
+// replicates met the absorption criterion and the distribution of their
+// convergence times. It is the shared aggregation used by the root Study
+// API and the experiment harness.
+type Convergence struct {
+	// Replicates is the number of replicates aggregated.
+	Replicates int
+	// Converged is the number of replicates that met the criterion.
+	Converged int
+	// SuccessRate is Converged / Replicates.
+	SuccessRate float64
+	// Rounds summarizes the per-replicate convergence times, with
+	// non-converged replicates censored at their executed round count.
+	Rounds Summary
+}
+
+// SummarizeConvergence aggregates times[i] (a convergence time, or the
+// executed-round count for a censored replicate) with converged[i]
+// reporting whether replicate i met the criterion. It panics on empty or
+// mismatched inputs.
+func SummarizeConvergence(times []float64, converged []bool) Convergence {
+	if len(times) != len(converged) {
+		panic("stats: SummarizeConvergence with mismatched inputs")
+	}
+	c := Convergence{Replicates: len(times), Rounds: Summarize(times)}
+	for _, ok := range converged {
+		if ok {
+			c.Converged++
+		}
+	}
+	c.SuccessRate = float64(c.Converged) / float64(c.Replicates)
+	return c
+}
+
 // Quantile returns the q-quantile of xs (linear interpolation between
 // order statistics). It panics on an empty sample or q outside [0, 1].
 func Quantile(xs []float64, q float64) float64 {

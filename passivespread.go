@@ -12,19 +12,42 @@
 //
 // # Quickstart
 //
-//	res, err := passivespread.Disseminate(passivespread.Options{
-//		N:    1024,
-//		Seed: 1,
-//	})
-//	// res.Round is the paper's t_con: the first round of the final
-//	// all-correct run.
+// The paper's claims are statements about distributions over many runs,
+// so the primary entry point is the Study API: describe a batch of
+// replicates, run it, stream per-replicate results, read the aggregate
+// report.
 //
-// For full control use Run with a sim.Config-compatible Config, compose
-// protocols and initializers directly, or drive the Markov chain with
-// NewChain for populations far beyond agent-level reach.
+//	study, err := passivespread.NewStudy(passivespread.StudySpec{
+//		Replicates: 200,
+//		Options:    passivespread.Options{N: 4096, Seed: 1},
+//	})
+//	report, err := study.Run(ctx)
+//	// report.Convergence.SuccessRate, report.Convergence.Rounds.Median, …
+//
+// Replicates fan out across a worker pool (StudySpec.Workers, default
+// GOMAXPROCS) over any engine, including the (K_t, K_{t+1}) Markov chain
+// (EngineMarkovChain). Results stream as they finish via Study.Stream,
+// and the context is honored inside every replicate's round loop.
+//
+// # Seed derivation
+//
+// Replicate i runs with seed StreamSeed(root, i), the same SplitMix64
+// stream discipline that derives per-agent generators inside a run
+// (internal/rng). Seeds depend only on (root seed, replicate index) —
+// never on scheduling — so a Study's results are bit-identical at every
+// worker count, and re-running a spec reproduces every replicate
+// exactly (RunResult.Seed identifies each replicate's derived stream).
+//
+// For one-shot runs, Disseminate covers the common case (FET under the
+// worst-case defaults) and Run takes a full Config; both are thin
+// wrappers over a single-replicate Study. Per-round visibility is
+// available through typed Observer event streams (Config.Observers).
 package passivespread
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 
 	"passivespread/internal/adversary"
@@ -52,6 +75,14 @@ type (
 	Initializer = sim.Initializer
 	// EngineKind selects the observation engine.
 	EngineKind = sim.EngineKind
+	// Observer receives a typed RoundEvent after every executed round.
+	Observer = sim.Observer
+	// RoundEvent is the per-round snapshot delivered to Observers.
+	RoundEvent = sim.RoundEvent
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = sim.ObserverFunc
+	// TrajectoryRecorder is an Observer collecting x_t per round.
+	TrajectoryRecorder = sim.TrajectoryRecorder
 )
 
 // Opinion constants and engine kinds.
@@ -71,11 +102,58 @@ const (
 	// agents: rounds cost O(ℓ²) independent of n, reaching populations of
 	// 10⁸ and beyond with agent-level-exact statistics.
 	EngineAggregate = sim.EngineAggregate
+
+	// EngineMarkovChain selects the induced (K_t, K_{t+1}) opinion-count
+	// Markov chain of Observation 1 as a Study's replicate engine. It is
+	// a root-level pseudo-engine: only the Study API executes it (the
+	// chain simulates the opinion-count pair alone, reaching populations
+	// of 10⁹ and beyond); Run and Disseminate reject it.
+	EngineMarkovChain EngineKind = -1
 )
 
-// Run executes an agent-level simulation. It is the low-level entry
-// point; Disseminate covers the common case.
-func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+// ErrStopRun is returned by an Observer to request a clean early stop;
+// the run reports StoppedEarly instead of an error.
+var ErrStopRun = sim.ErrStopRun
+
+// StopWhen returns an Observer that requests an early stop as soon as
+// pred returns true.
+func StopWhen(pred func(ev RoundEvent) bool) Observer { return sim.StopWhen(pred) }
+
+// ParseEngine returns the engine selected by a CLI-style name: "fast",
+// "exact", "parallel", "aggregate" or "chain".
+func ParseEngine(name string) (EngineKind, error) {
+	if name == "chain" {
+		return EngineMarkovChain, nil
+	}
+	return sim.ParseEngineKind(name)
+}
+
+// EngineName returns the engine's display name, covering the root-level
+// EngineMarkovChain pseudo-engine as well.
+func EngineName(k EngineKind) string {
+	if k == EngineMarkovChain {
+		return "markov-chain"
+	}
+	return k.String()
+}
+
+// Run executes an agent-level simulation as a single-replicate Study: the
+// simulation runs with seed StreamSeed(cfg.Seed, 0) per the Study seed
+// contract. It is the low-level entry point; Disseminate covers the
+// common case and NewStudy the batch case.
+func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run honoring ctx inside the round loop: cancellation or
+// deadline expiry ends the simulation within one round with ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	study, err := NewStudy(StudySpec{Replicates: 1, Workers: 1, Config: &cfg})
+	if err != nil {
+		return Result{}, err
+	}
+	return study.runSingle(ctx)
+}
 
 // NewFET returns the paper's Protocol 1 with per-half sample size ell
 // (2·ell observations per agent per round).
@@ -86,8 +164,20 @@ func NewFET(ell int) Protocol { return core.NewFET(ell) }
 func NewSimpleTrend(ell int) Protocol { return core.NewSimpleTrend(ell) }
 
 // SampleSize returns the default ℓ = ⌈3·log₂ n⌉ used across the
-// reproduction. Use core-specific constructors for other constants.
+// reproduction. SampleSizeC generalizes the constant.
 func SampleSize(n int) int { return core.SampleSize(n, core.DefaultC) }
+
+// SampleSizeC returns ℓ = ⌈c·log₂ n⌉.
+func SampleSizeC(n int, c float64) int { return core.SampleSize(n, c) }
+
+// DefaultC is the sample-size constant of SampleSize.
+const DefaultC = core.DefaultC
+
+// DefaultMaxRounds returns the default round cap 400·⌈log₂ n⌉ applied
+// when Options.MaxRounds (or a CLI round flag) is zero.
+func DefaultMaxRounds(n int) int {
+	return 400 * int(math.Ceil(math.Log2(float64(n))))
+}
 
 // Initializers for the adversarial starting configurations.
 
@@ -101,7 +191,15 @@ func UniformInit() Initializer { return adversary.Uniform{} }
 // FractionInit starts with an exact fraction x of 1-opinions.
 func FractionInit(x float64) Initializer { return adversary.Fraction{X: x} }
 
-// Options configures Disseminate, the one-call FET runner.
+// HalfInit starts with an exact half/half opinion split.
+func HalfInit() Initializer { return adversary.HalfSplit() }
+
+// ErrInvalidOptions is wrapped by every validation error returned from
+// NewStudy, Disseminate and Run for a malformed Options value, so callers
+// can test with errors.Is without matching message text.
+var ErrInvalidOptions = errors.New("passivespread: invalid options")
+
+// Options configures Disseminate and the Options form of a StudySpec.
 type Options struct {
 	// N is the population size including the source (required, ≥ 2).
 	N int
@@ -122,46 +220,99 @@ type Options struct {
 	// RecordTrajectory stores x_t per round in the result.
 	RecordTrajectory bool
 	// Engine selects the round executor (default EngineAgentFast). Use
-	// EngineAgentParallel for large agent-level populations and
-	// EngineAggregate for populations beyond agent-level reach.
+	// EngineAgentParallel for large agent-level populations,
+	// EngineAggregate for populations beyond agent-level reach, and (in
+	// Studies only) EngineMarkovChain for the opinion-count chain.
 	Engine EngineKind
 	// Parallelism bounds EngineAgentParallel's worker count
 	// (0 = GOMAXPROCS). Any value yields bit-identical results.
 	Parallelism int
 }
 
-// Disseminate runs FET end-to-end under the worst-case defaults and
-// returns the simulation result.
-func Disseminate(opts Options) (Result, error) {
+// validate checks the fields that default derivation and the simulator's
+// own validation would otherwise mis-handle or report late, wrapping
+// every failure in ErrInvalidOptions.
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("%w: N = %d, need at least 2 agents", ErrInvalidOptions, o.N)
+	}
+	if o.Ell < 0 {
+		return fmt.Errorf("%w: Ell = %d, want ≥ 0", ErrInvalidOptions, o.Ell)
+	}
+	if o.Sources < 0 || o.Sources >= o.N {
+		return fmt.Errorf("%w: Sources = %d out of range [0, N)", ErrInvalidOptions, o.Sources)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("%w: MaxRounds = %d, want ≥ 0", ErrInvalidOptions, o.MaxRounds)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism = %d, want ≥ 0", ErrInvalidOptions, o.Parallelism)
+	}
+	return nil
+}
+
+// derive validates the options and resolves the defaulted parameters
+// shared by the agent-level and chain forms: the per-half sample size
+// and the round cap. Validation runs up front, so defaults (in
+// particular the MaxRounds cap, which previously stayed 0 for N < 2 and
+// surfaced as a confusing downstream error) are always well defined.
+func (o Options) derive() (ell, maxRounds int, err error) {
+	if err := o.validate(); err != nil {
+		return 0, 0, err
+	}
+	ell = o.Ell
+	if ell == 0 {
+		ell = SampleSize(o.N)
+	}
+	maxRounds = o.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds(o.N)
+	}
+	return ell, maxRounds, nil
+}
+
+// config derives the worst-case-default simulation configuration.
+func (o Options) config() (Config, error) {
+	ell, maxRounds, err := o.derive()
+	if err != nil {
+		return Config{}, err
+	}
 	correct := OpinionOne
-	if opts.CorrectZero {
+	if o.CorrectZero {
 		correct = OpinionZero
 	}
-	ell := opts.Ell
-	if ell == 0 {
-		ell = SampleSize(opts.N)
-	}
-	init := opts.Init
+	init := o.Init
 	if init == nil {
 		init = AllWrong(correct)
 	}
-	maxRounds := opts.MaxRounds
-	if maxRounds == 0 && opts.N >= 2 {
-		maxRounds = 400 * int(math.Ceil(math.Log2(float64(opts.N))))
-	}
-	return sim.Run(sim.Config{
-		N:                opts.N,
-		Sources:          opts.Sources,
+	return Config{
+		N:                o.N,
+		Sources:          o.Sources,
 		Correct:          correct,
 		Protocol:         core.NewFET(ell),
 		Init:             init,
-		Engine:           opts.Engine,
-		Parallelism:      opts.Parallelism,
-		Seed:             opts.Seed,
+		Engine:           o.Engine,
+		Parallelism:      o.Parallelism,
+		Seed:             o.Seed,
 		MaxRounds:        maxRounds,
 		CorruptStates:    true,
-		RecordTrajectory: opts.RecordTrajectory,
-	})
+		RecordTrajectory: o.RecordTrajectory,
+	}, nil
+}
+
+// Disseminate runs FET end-to-end under the worst-case defaults as a
+// single-replicate Study and returns the simulation result. The
+// Markov-chain pseudo-engine reports different semantics (opinion
+// counts, not agents) and is only available through NewStudy.
+func Disseminate(opts Options) (Result, error) {
+	if opts.Engine == EngineMarkovChain {
+		return Result{}, fmt.Errorf("%w: EngineMarkovChain is only available through NewStudy", ErrInvalidOptions)
+	}
+	study, err := NewStudy(StudySpec{Replicates: 1, Workers: 1, Options: opts})
+	if err != nil {
+		return Result{}, err
+	}
+	return study.runSingle(context.Background())
 }
 
 // Chain is the aggregate Markov-chain engine (Observation 1): it
@@ -178,7 +329,7 @@ func NewChain(n, ell int, seed uint64) *Chain { return markov.New(n, ell, seed) 
 
 // Experiment metadata and execution, re-exported from the harness.
 type (
-	// Experiment is a registered reproduction experiment (E01–E18).
+	// Experiment is a registered reproduction experiment (E01–E22).
 	Experiment = experiment.Experiment
 	// ExperimentConfig controls an experiment run.
 	ExperimentConfig = experiment.Config
@@ -191,3 +342,9 @@ func Experiments() []Experiment { return experiment.All() }
 
 // LookupExperiment returns the experiment with the given ID ("E01"…).
 func LookupExperiment(id string) (Experiment, bool) { return experiment.Lookup(id) }
+
+// RenderExperimentText renders a report as the fetlab text format.
+func RenderExperimentText(r *ExperimentReport) string { return experiment.RenderText(r) }
+
+// RenderExperimentMarkdown renders a report as Markdown.
+func RenderExperimentMarkdown(r *ExperimentReport) string { return experiment.RenderMarkdown(r) }

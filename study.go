@@ -1,0 +1,361 @@
+package passivespread
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"passivespread/internal/adversary"
+	"passivespread/internal/markov"
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+	"passivespread/internal/stats"
+)
+
+// StudySpec describes a batch of replicate simulations: R independent
+// runs of one configuration, differing only in their derived seeds.
+type StudySpec struct {
+	// Replicates is the number of independent runs (required, ≥ 1).
+	Replicates int
+	// Workers bounds the replicate worker pool (0 = GOMAXPROCS). The
+	// worker count affects scheduling only: replicate seeds derive from
+	// (root seed, replicate index) alone, so results are bit-identical at
+	// every parallelism level.
+	Workers int
+	// Options is the per-replicate template for the common case (FET
+	// under the worst-case defaults). Options.Seed is the study's root
+	// seed: replicate i runs with StreamSeed(Seed, i).
+	Options Options
+	// Config, when non-nil, bypasses Options entirely and uses this
+	// sim-level configuration as the replicate template — full control
+	// over protocol, initializer, noise, and engine (except
+	// EngineMarkovChain, which only the Options form supports).
+	// Config.Seed is the root seed. Config.Observers is allowed only for
+	// a single replicate: observers are stateful and replicates run
+	// concurrently, so batches must use Observe instead.
+	Config *Config
+	// Observe, when non-nil, is called once per replicate (from the
+	// replicate's worker goroutine) and returns the observers attached to
+	// that replicate's run, so per-round visibility composes with the
+	// concurrent worker pool: each replicate gets its own instances.
+	// Returning nil attaches none. Observers must not mutate shared
+	// state without their own synchronization.
+	Observe func(replicate int) []Observer
+}
+
+// StreamSeed exposes the repository's SplitMix64 stream-derivation rule:
+// replicate i of a Study with root seed s runs with StreamSeed(s, i).
+// The derived value identifies a replicate's randomness (RunResult.Seed
+// reports it) and lets external tooling pre-compute or verify replicate
+// seeds. Note that re-running NewStudy with a derived value as the root
+// is NOT the same replicate (the single replicate would derive again):
+// to reproduce replicate i exactly, re-run the same spec — any worker
+// count — and read Results[i].
+func StreamSeed(seed, stream uint64) uint64 { return rng.StreamSeed(seed, stream) }
+
+// RunResult is one replicate's outcome, as streamed by Study.Stream.
+type RunResult struct {
+	// Replicate is the replicate index in [0, Replicates).
+	Replicate int
+	// Seed is the derived seed the replicate ran with.
+	Seed uint64
+	// Result is the simulation outcome (zero when Err is non-nil).
+	Result Result
+	// Err is the replicate's failure, if any. A cancelled context
+	// surfaces here as ctx.Err() for replicates interrupted mid-run.
+	Err error
+}
+
+// ConvergenceStats aggregates replicate convergence outcomes (success
+// rate plus a full Summary of the convergence times).
+type ConvergenceStats = stats.Convergence
+
+// Summary holds descriptive statistics of a sample (mean, quantiles,
+// extremes).
+type Summary = stats.Summary
+
+// StudyReport is the aggregate output of Study.Run.
+type StudyReport struct {
+	// Convergence aggregates t_con across replicates: success rate, and
+	// mean/median/quantiles of the convergence times with non-converged
+	// replicates censored at their executed round count.
+	Convergence ConvergenceStats
+	// Results holds the per-replicate outcomes ordered by replicate
+	// index — byte-identical for any StudySpec.Workers value.
+	Results []RunResult
+}
+
+// Study is a prepared batch of replicate simulations. Construct with
+// NewStudy; run with Run (aggregate report) or Stream (results as they
+// finish).
+type Study struct {
+	replicates int
+	workers    int
+	rootSeed   uint64
+	observe    func(replicate int) []Observer
+
+	// Agent-level template (nil chain fields), or chain parameters.
+	cfg   Config
+	chain bool
+	// chainN, chainEll, chainCap parameterize EngineMarkovChain
+	// replicates; the chain starts at grid point (chainX0, chainX1).
+	chainN, chainEll, chainCap int
+	chainX0, chainX1           float64
+	chainTrajectory            bool
+}
+
+// NewStudy validates spec and returns a runnable Study. Validation
+// failures wrap ErrInvalidOptions.
+func NewStudy(spec StudySpec) (*Study, error) {
+	if spec.Replicates < 1 {
+		return nil, fmt.Errorf("%w: Replicates = %d, want ≥ 1", ErrInvalidOptions, spec.Replicates)
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("%w: Workers = %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Replicates {
+		workers = spec.Replicates
+	}
+	s := &Study{replicates: spec.Replicates, workers: workers, observe: spec.Observe}
+
+	if spec.Config != nil {
+		if spec.Config.Engine == EngineMarkovChain {
+			return nil, fmt.Errorf("%w: EngineMarkovChain requires the Options form of StudySpec", ErrInvalidOptions)
+		}
+		if len(spec.Config.Observers) > 0 && spec.Replicates > 1 {
+			return nil, fmt.Errorf("%w: Config.Observers are shared state; use StudySpec.Observe for %d replicates",
+				ErrInvalidOptions, spec.Replicates)
+		}
+		s.cfg = *spec.Config
+		s.rootSeed = spec.Config.Seed
+		if err := s.cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
+		return s, nil
+	}
+
+	if spec.Options.Engine == EngineMarkovChain {
+		if spec.Observe != nil {
+			return nil, fmt.Errorf("%w: EngineMarkovChain does not deliver round events; Observe is not supported", ErrInvalidOptions)
+		}
+		return s.withChain(spec.Options)
+	}
+	cfg, err := spec.Options.config()
+	if err != nil {
+		return nil, err
+	}
+	s.cfg = cfg
+	s.rootSeed = spec.Options.Seed
+	return s, nil
+}
+
+// withChain derives the Markov-chain replicate parameters from opts. The
+// chain models one source and is opinion-symmetric, so CorrectZero has no
+// observable effect and results are reported as if the correct opinion
+// were 1.
+func (s *Study) withChain(opts Options) (*Study, error) {
+	ell, maxRounds, err := opts.derive()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Sources > 1 {
+		return nil, fmt.Errorf("%w: EngineMarkovChain models exactly one source, got Sources = %d",
+			ErrInvalidOptions, opts.Sources)
+	}
+	correct := OpinionOne
+	if opts.CorrectZero {
+		correct = OpinionZero
+	}
+	x0, x1, err := chainStart(opts.Init, correct)
+	if err != nil {
+		return nil, err
+	}
+	s.chain = true
+	s.rootSeed = opts.Seed
+	s.chainN = opts.N
+	s.chainEll = ell
+	s.chainCap = maxRounds
+	s.chainX0, s.chainX1 = x0, x1
+	s.chainTrajectory = opts.RecordTrajectory
+	return s, nil
+}
+
+// chainStart maps an Options initializer onto the chain's grid start
+// (x_t, x_{t+1}), expressed as fractions of CORRECT opinions (the chain
+// reports as if the correct opinion were 1, so a Fraction of 1-opinions
+// mirrors when the correct opinion is 0). AllWrong/AllCorrect carry
+// their own Correct field: relative to the study's correct opinion,
+// AllWrong(correct) starts everyone wrong but AllWrong(1−correct)
+// starts everyone right. The chain carries no per-agent state, so only
+// initializers with a deterministic opinion fraction are supported.
+func chainStart(init Initializer, correct byte) (x0, x1 float64, err error) {
+	switch v := init.(type) {
+	case nil:
+		return 0, 0, nil // the all-wrong worst case
+	case adversary.AllWrong:
+		if v.Correct != correct {
+			// "Wrong" relative to the other opinion = everyone correct.
+			return 1, 1, nil
+		}
+		return 0, 0, nil
+	case adversary.AllCorrect:
+		if v.Correct != correct {
+			return 0, 0, nil
+		}
+		return 1, 1, nil
+	case adversary.Fraction:
+		x := v.X
+		if correct == OpinionZero {
+			x = 1 - x
+		}
+		return x, x, nil
+	default:
+		return 0, 0, fmt.Errorf("%w: initializer %q is not supported by EngineMarkovChain",
+			ErrInvalidOptions, init.Name())
+	}
+}
+
+// Replicates returns the number of replicates the study will run.
+func (s *Study) Replicates() int { return s.replicates }
+
+// Workers returns the resolved worker-pool size.
+func (s *Study) Workers() int { return s.workers }
+
+// Stream starts the study and returns a channel delivering each
+// replicate's RunResult as it finishes (completion order; per-replicate
+// content is deterministic regardless of order). The channel is closed
+// once every replicate has been delivered or the context has ended;
+// after cancellation, undelivered replicates are dropped and in-flight
+// ones finish within one simulated round. The caller must drain the
+// channel or cancel ctx, or the worker pool leaks.
+func (s *Study) Stream(ctx context.Context) <-chan RunResult {
+	out := make(chan RunResult)
+	go func() {
+		defer close(out)
+		indices := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < s.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range indices {
+					r := s.runReplicate(ctx, i)
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+	feed:
+		for i := 0; i < s.replicates; i++ {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(indices)
+		wg.Wait()
+	}()
+	return out
+}
+
+// Run executes every replicate across the worker pool and aggregates the
+// convergence statistics. The report is bit-identical for any worker
+// count on a fixed root seed. Run returns ctx.Err() if the context ends
+// before all replicates finish, and the first replicate error (by
+// replicate index) otherwise.
+func (s *Study) Run(ctx context.Context) (*StudyReport, error) {
+	results := make([]RunResult, s.replicates)
+	received := 0
+	for r := range s.Stream(ctx) {
+		results[r.Replicate] = r
+		received++
+	}
+	if received < s.replicates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("passivespread: study lost %d of %d replicates", s.replicates-received, s.replicates)
+	}
+
+	times := make([]float64, s.replicates)
+	converged := make([]bool, s.replicates)
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("replicate %d: %w", i, r.Err)
+		}
+		if r.Result.Converged {
+			times[i] = float64(r.Result.Round)
+			converged[i] = true
+		} else {
+			times[i] = float64(r.Result.Rounds)
+		}
+	}
+	return &StudyReport{
+		Convergence: stats.SummarizeConvergence(times, converged),
+		Results:     results,
+	}, nil
+}
+
+// runSingle backs the Disseminate/Run compatibility wrappers: replicate 0
+// executed inline, with its error unwrapped.
+func (s *Study) runSingle(ctx context.Context) (Result, error) {
+	r := s.runReplicate(ctx, 0)
+	return r.Result, r.Err
+}
+
+// runReplicate executes replicate i with its derived seed.
+func (s *Study) runReplicate(ctx context.Context, i int) RunResult {
+	seed := rng.StreamSeed(s.rootSeed, uint64(i))
+	rr := RunResult{Replicate: i, Seed: seed}
+	if s.chain {
+		rr.Result, rr.Err = s.runChainReplicate(ctx, seed)
+		return rr
+	}
+	cfg := s.cfg
+	cfg.Seed = seed
+	if s.observe != nil {
+		// Fresh observer instances per replicate: the template's slice is
+		// never shared across concurrently running replicates.
+		cfg.Observers = append(append([]Observer(nil), cfg.Observers...), s.observe(i)...)
+	}
+	rr.Result, rr.Err = sim.RunContext(ctx, cfg)
+	return rr
+}
+
+// runChainReplicate advances the (K_t, K_{t+1}) chain to absorption and
+// reports it in the common Result shape. The context is checked after
+// every chain step.
+func (s *Study) runChainReplicate(ctx context.Context, seed uint64) (Result, error) {
+	ch := markov.New(s.chainN, s.chainEll, seed)
+	start := ch.StateAt(s.chainX0, s.chainX1)
+	cres := ch.Run(markov.RunConfig{
+		Start:            start,
+		MaxRounds:        s.chainCap,
+		RecordTrajectory: s.chainTrajectory,
+		Stop:             func(int, markov.State) bool { return ctx.Err() != nil },
+	})
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Converged: cres.Converged,
+		Round:     cres.Round,
+		Rounds:    cres.Rounds,
+		FinalX:    float64(cres.Final.K1) / float64(s.chainN),
+	}
+	if s.chainTrajectory {
+		// Match the agent engines' convention: the trajectory starts at
+		// the initial fraction, then one entry per executed round.
+		res.Trajectory = append([]float64{float64(start.K1) / float64(s.chainN)}, cres.Trajectory...)
+	}
+	return res, nil
+}
