@@ -12,7 +12,7 @@ import (
 
 // benchExperiment runs one registered experiment per iteration in Quick
 // mode. Each experiment reproduces one table/figure/lemma of the paper
-// (see DESIGN.md §3); the full-size outputs recorded in EXPERIMENTS.md
+// (see DESIGN.md §4); the full-size outputs recorded in EXPERIMENTS.md
 // come from `fetlab -full`.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
@@ -50,7 +50,7 @@ func BenchmarkE16Engines(b *testing.B)            { benchExperiment(b, "E16") }
 func BenchmarkE17Resources(b *testing.B)          { benchExperiment(b, "E17") }
 func BenchmarkE18Baselines(b *testing.B)          { benchExperiment(b, "E18") }
 
-// Extensions beyond the paper (E19–E22; see DESIGN.md §3).
+// Extensions beyond the paper (E19–E22; see DESIGN.md §4).
 
 func BenchmarkE19NoiseRobustness(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20Restabilization(b *testing.B) { benchExperiment(b, "E20") }

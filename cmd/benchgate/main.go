@@ -1,0 +1,297 @@
+// Command benchgate is the CI benchmark-regression gate: it compares a
+// `go test -bench` text run against the committed baseline JSON files
+// (BENCH_engines.json, BENCH_study.json) and fails when any baselined
+// benchmark's ns/op regresses beyond a threshold factor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=200ms . | tee bench.txt
+//	benchgate -input bench.txt -out bench-fresh.json [-threshold 2.5] BENCH_engines.json BENCH_study.json
+//
+// Baseline entries are matched by benchmark name: the baseline name
+// "EngineRound/n=10000/fast" matches the output line
+// "BenchmarkEngineRound/n=10000/fast-8" (the "Benchmark" prefix and the
+// trailing -GOMAXPROCS tag are stripped). Each baseline entry's ns/op
+// reference is its first "ns_per_*" field — the baselines record the
+// semantic unit (per round, per replicate, per dissemination), but all
+// of them equal the benchmark's ns/op by construction.
+//
+// The threshold is deliberately loose (default 2.5×): shared CI runners
+// are noisy and single-core, so the gate catches structural regressions
+// (an accidentally quadratic round loop, a lost fast path), not
+// percent-level drift. Fresh measurements are always written to -out for
+// upload as a workflow artifact, pass or fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the subset of the BENCH_*.json schema the gate reads.
+type baselineFile struct {
+	Description string                       `json:"description"`
+	Benchmarks  []map[string]json.RawMessage `json:"benchmarks"`
+}
+
+// baseline is one committed reference measurement.
+type baseline struct {
+	name string  // benchmark name as in bench output, without Benchmark/-P
+	ns   float64 // the entry's ns_per_* value
+	file string  // which baseline file it came from
+}
+
+// measurement is one parsed `go test -bench` result line.
+type measurement struct {
+	name string
+	ns   float64
+}
+
+// gateResult is one gated comparison, serialized into the artifact.
+type gateResult struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BaselineNs float64 `json:"baseline_ns_per_op,omitempty"`
+	Ratio      float64 `json:"ratio,omitempty"`
+	Baselined  bool    `json:"baselined"`
+	OK         bool    `json:"ok"`
+}
+
+func main() {
+	var (
+		input     = flag.String("input", "", "path to `go test -bench` text output (required)")
+		out       = flag.String("out", "", "path to write the fresh-measurement JSON artifact")
+		threshold = flag.Float64("threshold", 2.5, "fail when fresh ns/op exceeds baseline × threshold")
+	)
+	flag.Parse()
+	if *input == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -input bench.txt [-out fresh.json] [-threshold 2.5] BASELINE.json...")
+		os.Exit(2)
+	}
+	if *threshold <= 1 {
+		fatalf("-threshold %v must be > 1", *threshold)
+	}
+
+	baselines, err := loadBaselines(flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	measurements, err := parseBenchOutput(*input)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(measurements) == 0 {
+		fatalf("%s contains no benchmark result lines", *input)
+	}
+
+	results, failures := gate(baselines, measurements, *threshold)
+	if *out != "" {
+		if err := writeArtifact(*out, *threshold, results); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, r := range results {
+		if !r.Baselined {
+			continue
+		}
+		status := "ok"
+		if !r.OK {
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-45s %12.1f ns/op  baseline %12.1f  ratio %5.2f  %s\n",
+			r.Name, r.NsPerOp, r.BaselineNs, r.Ratio, status)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s) beyond %gx:\n", len(failures), *threshold)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: %d baselined benchmark(s) within %gx\n", countBaselined(results), *threshold)
+}
+
+func countBaselined(results []gateResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Baselined {
+			n++
+		}
+	}
+	return n
+}
+
+// loadBaselines reads every ns_per_* entry of the given BENCH_*.json
+// files.
+func loadBaselines(paths []string) ([]baseline, error) {
+	var out []baseline
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var file baselineFile
+		if err := json.Unmarshal(data, &file); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		for i, entry := range file.Benchmarks {
+			var name string
+			if raw, ok := entry["name"]; ok {
+				if err := json.Unmarshal(raw, &name); err != nil {
+					return nil, fmt.Errorf("%s: benchmark %d: bad name: %v", path, i, err)
+				}
+			}
+			if name == "" {
+				return nil, fmt.Errorf("%s: benchmark %d has no name", path, i)
+			}
+			ns, ok, err := nsField(entry)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", path, name, err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("%s: %s has no ns_per_* field", path, name)
+			}
+			out = append(out, baseline{name: name, ns: ns, file: path})
+		}
+	}
+	return out, nil
+}
+
+// nsField extracts the entry's single ns_per_* value.
+func nsField(entry map[string]json.RawMessage) (float64, bool, error) {
+	keys := make([]string, 0, len(entry))
+	for k := range entry {
+		if strings.HasPrefix(k, "ns_per_") {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return 0, false, nil
+	}
+	if len(keys) > 1 {
+		sort.Strings(keys)
+		return 0, false, fmt.Errorf("ambiguous ns fields %v", keys)
+	}
+	var ns float64
+	if err := json.Unmarshal(entry[keys[0]], &ns); err != nil {
+		return 0, false, err
+	}
+	if ns <= 0 {
+		return 0, false, fmt.Errorf("%s = %v, want > 0", keys[0], ns)
+	}
+	return ns, true, nil
+}
+
+// parseBenchOutput extracts (name, ns/op) pairs from `go test -bench`
+// text output lines of the form
+//
+//	BenchmarkEngineRound/n=10000/fast-8   4322   270149 ns/op   10000 agents/round
+func parseBenchOutput(path string) ([]measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []measurement
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, measurement{name: canonicalName(fields[0]), ns: ns})
+	}
+	return out, sc.Err()
+}
+
+// canonicalName strips the Benchmark prefix and the -GOMAXPROCS tag of
+// the final path element, matching the committed baseline names.
+func canonicalName(s string) string {
+	s = strings.TrimPrefix(s, "Benchmark")
+	if i := strings.LastIndex(s, "-"); i > strings.LastIndex(s, "/") {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+// gate compares measurements against baselines. Every baseline must be
+// present in the fresh run (a silently vanished benchmark would
+// otherwise disable its own gate).
+func gate(baselines []baseline, measurements []measurement, threshold float64) ([]gateResult, []string) {
+	fresh := make(map[string]float64, len(measurements))
+	for _, m := range measurements {
+		fresh[m.name] = m.ns
+	}
+	var results []gateResult
+	var failures []string
+	matched := map[string]bool{}
+	for _, b := range baselines {
+		ns, ok := fresh[b.name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s (baselined in %s) missing from the bench run — renamed? update the baseline file", b.name, b.file))
+			continue
+		}
+		matched[b.name] = true
+		ratio := ns / b.ns
+		r := gateResult{Name: b.name, NsPerOp: ns, BaselineNs: b.ns, Ratio: ratio, Baselined: true, OK: ratio <= threshold}
+		results = append(results, r)
+		if !r.OK {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %gx)", b.name, ns, b.ns, ratio, threshold))
+		}
+	}
+	// Record the un-baselined measurements in the artifact too, so a new
+	// benchmark's first CI numbers are captured without gating them.
+	for _, m := range measurements {
+		if !matched[m.name] {
+			results = append(results, gateResult{Name: m.name, NsPerOp: m.ns, OK: true})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, failures
+}
+
+// writeArtifact renders the fresh measurements as the workflow artifact.
+func writeArtifact(path string, threshold float64, results []gateResult) error {
+	artifact := struct {
+		Description string       `json:"description"`
+		Threshold   float64      `json:"threshold"`
+		Results     []gateResult `json:"results"`
+	}{
+		Description: "fresh benchmark measurements from the CI bench job (benchgate); baselined entries are gated against the committed BENCH_*.json references",
+		Threshold:   threshold,
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkEngineRound/n=10000/fast-8": "EngineRound/n=10000/fast",
+		"BenchmarkStudyReplicates/chain-16":   "StudyReplicates/chain",
+		"BenchmarkAggregateWorstCase-4":       "AggregateWorstCase",
+		"BenchmarkCompete":                    "Compete",
+		"BenchmarkFETRoundByN/n=1024-2":       "FETRoundByN/n=1024",
+	}
+	for in, want := range cases {
+		if got := canonicalName(in); got != want {
+			t.Errorf("canonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: passivespread
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineRound/n=10000/fast-8         	    4322	    270149 ns/op	     10000 agents/round
+BenchmarkEngineRound/n=10000/aggregate-8    	 2951437	       406.4 ns/op	     10000 agents/round
+BenchmarkStudyReplicates/chain-8            	  327000	      3660 ns/op	    273246 replicates/sec
+PASS
+ok  	passivespread	12.3s
+`
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBenchOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d measurements, want 3: %+v", len(got), got)
+	}
+	if got[0].name != "EngineRound/n=10000/fast" || got[0].ns != 270149 {
+		t.Fatalf("measurement 0: %+v", got[0])
+	}
+	if got[1].ns != 406.4 {
+		t.Fatalf("measurement 1: %+v", got[1])
+	}
+}
+
+func writeBaseline(t *testing.T, entries string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	data := `{"description": "test", "benchmarks": [` + entries + `]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBaselinesNsFieldVariants(t *testing.T) {
+	path := writeBaseline(t, `
+		{"name": "A", "ns_per_round": 100},
+		{"name": "B", "ns_per_replicate": 250.5},
+		{"name": "C", "ns_per_dissemination": 38722, "note": "x"}`)
+	got, err := loadBaselines([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ns != 100 || got[1].ns != 250.5 || got[2].ns != 38722 {
+		t.Fatalf("baselines: %+v", got)
+	}
+}
+
+func TestLoadBaselinesRejectsMalformed(t *testing.T) {
+	for name, entries := range map[string]string{
+		"no name":     `{"ns_per_round": 1}`,
+		"no ns field": `{"name": "A", "note": "x"}`,
+		"zero ns":     `{"name": "A", "ns_per_round": 0}`,
+		"two ns":      `{"name": "A", "ns_per_round": 1, "ns_per_replicate": 2}`,
+	} {
+		if got, err := loadBaselines([]string{writeBaseline(t, entries)}); err == nil {
+			t.Errorf("%s: accepted %+v", name, got)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baselines := []baseline{
+		{name: "A", ns: 100, file: "f"},
+		{name: "B", ns: 100, file: "f"},
+		{name: "Gone", ns: 100, file: "f"},
+	}
+	measurements := []measurement{
+		{name: "A", ns: 240},  // within 2.5x
+		{name: "B", ns: 260},  // regression
+		{name: "New", ns: 10}, // un-baselined, recorded not gated
+	}
+	results, failures := gate(baselines, measurements, 2.5)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want regression for B and missing Gone", failures)
+	}
+	if !strings.Contains(failures[0], "B:") || !strings.Contains(failures[1], "Gone") {
+		t.Fatalf("failure messages: %v", failures)
+	}
+	byName := map[string]gateResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if r := byName["A"]; !r.OK || !r.Baselined || r.Ratio != 2.4 {
+		t.Fatalf("A: %+v", r)
+	}
+	if r := byName["B"]; r.OK {
+		t.Fatalf("B passed: %+v", r)
+	}
+	if r := byName["New"]; r.Baselined || !r.OK {
+		t.Fatalf("New: %+v", r)
+	}
+}
+
+// TestGateAgainstCommittedBaselines parses the repository's real
+// baseline files: the CI gate must never break because a committed
+// schema drifted.
+func TestGateAgainstCommittedBaselines(t *testing.T) {
+	baselines, err := loadBaselines([]string{"../../BENCH_engines.json", "../../BENCH_study.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baselines) < 10 {
+		t.Fatalf("only %d committed baselines parsed", len(baselines))
+	}
+	names := map[string]bool{}
+	for _, b := range baselines {
+		names[b.name] = true
+	}
+	for _, want := range []string{
+		"EngineRound/n=1000000/aggregate",
+		"StudyReplicates/chain",
+		"AggregateWorstCase",
+	} {
+		if !names[want] {
+			t.Errorf("committed baselines missing %s", want)
+		}
+	}
+}
+
+func TestWriteArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.json")
+	results := []gateResult{{Name: "A", NsPerOp: 240, BaselineNs: 100, Ratio: 2.4, Baselined: true, OK: true}}
+	if err := writeArtifact(path, 2.5, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Threshold float64      `json:"threshold"`
+		Results   []gateResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Threshold != 2.5 || len(back.Results) != 1 || back.Results[0].Name != "A" {
+		t.Fatalf("artifact round trip: %+v", back)
+	}
+}

@@ -1,13 +1,18 @@
 // Command fetlab runs the reproduction experiments (E01–E18), one per
-// figure, theorem, lemma, or design claim of the paper. See DESIGN.md §3
+// figure, theorem, lemma, or design claim of the paper. See DESIGN.md §4
 // for the experiment index and EXPERIMENTS.md for recorded full-size
 // results.
 //
 // Usage:
 //
 //	fetlab -list
+//	fetlab -scenarios
 //	fetlab -run E01,E02 [-quick] [-seed 42] [-format text|markdown]
 //	fetlab -all [-quick]
+//
+// The grid-shaped experiments (E01, E13) run through the root Sweep
+// layer; -scenarios lists the scenario registry that Sweep (and the
+// fetsweep tool) draw presets from.
 package main
 
 import (
@@ -21,19 +26,26 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list registered experiments and exit")
-		runIDs  = flag.String("run", "", "comma-separated experiment IDs to run (e.g. E01,E03)")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "reduced sweep sizes (CI scale)")
-		seed    = flag.Uint64("seed", 42, "root random seed")
-		format  = flag.String("format", "text", "output format: text or markdown")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs)")
+		list      = flag.Bool("list", false, "list registered experiments and exit")
+		scenarios = flag.Bool("scenarios", false, "list registered sweep scenarios and exit")
+		runIDs    = flag.String("run", "", "comma-separated experiment IDs to run (e.g. E01,E03)")
+		all       = flag.Bool("all", false, "run every experiment")
+		quick     = flag.Bool("quick", false, "reduced sweep sizes (CI scale)")
+		seed      = flag.Uint64("seed", 42, "root random seed")
+		format    = flag.String("format", "text", "output format: text or markdown")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range passivespread.Experiments() {
 			fmt.Printf("%s  %-55s  [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+	if *scenarios {
+		for _, sc := range passivespread.Scenarios() {
+			fmt.Printf("%-15s %s\n", sc.Name, sc.Description)
 		}
 		return
 	}

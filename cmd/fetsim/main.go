@@ -58,9 +58,13 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	proto, err := parseProtocol(*protocol, *ell, *n)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	var (
 		study     *passivespread.Study
-		protoName string
+		protoName = proto.Name()
 		initLabel = init.Name()
 	)
 	if engineKind == passivespread.EngineMarkovChain {
@@ -87,17 +91,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		proto, err := parseProtocol(*protocol, *ell, *n)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		protoName = proto.Name()
 	} else {
-		proto, err := parseProtocol(*protocol, *ell, *n)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		protoName = proto.Name()
 		cfg := passivespread.Config{
 			N:                *n,
 			Sources:          *sources,

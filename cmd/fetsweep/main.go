@@ -1,18 +1,28 @@
-// Command fetsweep measures FET convergence-time scaling (the Theorem 1
-// experiment) and fits the polylog exponent.
+// Command fetsweep runs parameter-grid sweeps over the FET simulation —
+// the phase-diagram tool. It is a thin CLI over the root Sweep API: the
+// cross-product of -ns × -ells × -engines × -scenarios expands into grid
+// cells, every cell runs -trials replicates, and all cells × replicates
+// draw from one shared worker pool. Results are bit-identical for any
+// -workers value on a fixed -seed.
 //
 // Usage:
 //
-//	fetsweep [-ns 256,1024,4096,16384] [-trials 40] [-engine fast] [-seed 42]
+//	fetsweep [-ns 256,1024,4096,16384] [-trials 40] [-engines fast] [-seed 42]
+//	fetsweep -scenarios worst-case,noisy,trend-flip -format csv > phase.csv
+//	fetsweep -ns 4096 -ells 1,2,4,8,16,24 -format json
+//	fetsweep -ns 1048576,16777216 -engines aggregate,chain
 //
-// -engine selects the executor: fast (sequential agent engine), parallel
-// (sharded agent engine), aggregate (occupancy-vector engine), or chain
-// (the (K_t, K_{t+1}) Markov chain). aggregate and chain scale to
-// populations of hundreds of millions; -chain is kept as an alias.
+// -engines selects the executors: fast (sequential agent engine),
+// parallel (sharded agent engine), aggregate (occupancy-vector engine),
+// or chain (the (K_t, K_{t+1}) Markov chain). aggregate and chain scale
+// to populations of hundreds of millions; -chain is kept as an alias
+// for -engines chain. -scenarios names presets from the scenario
+// registry (list them with `fetlab -scenarios`).
 //
-// Each population size runs as one Study: trials fan out across the
-// worker pool with replicate seeds derived from the root seed, so any
-// -jobs value produces identical numbers.
+// The default table output appends a polylog fit of the median
+// convergence times per (scenario, engine) group spanning ≥ 2
+// population sizes — the Theorem 1 shape check. -format csv and
+// -format json emit the machine-readable artifacts instead.
 package main
 
 import (
@@ -28,87 +38,223 @@ import (
 
 func main() {
 	var (
-		nsFlag  = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
-		trials  = flag.Int("trials", 40, "trials per population size")
-		engine  = flag.String("engine", "fast", "engine: fast, exact, parallel, aggregate or chain")
-		chain   = flag.Bool("chain", false, "alias for -engine chain")
-		jobs    = flag.Int("jobs", 0, "concurrent trials (0 = GOMAXPROCS)")
-		workers = flag.Int("workers", 0, "worker goroutines per trial for -engine parallel (0 = GOMAXPROCS)")
-		seed    = flag.Uint64("seed", 42, "root random seed")
-		c       = flag.Float64("c", passivespread.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
+		nsFlag    = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
+		ellsFlag  = flag.String("ells", "", "comma-separated per-half sample sizes (0 or empty = ⌈c·log₂ n⌉)")
+		engines   = flag.String("engines", "fast", "comma-separated engines: fast, exact, parallel, aggregate, chain")
+		scenarios = flag.String("scenarios", passivespread.DefaultScenario, "comma-separated scenario names (see `fetlab -scenarios`)")
+		trials    = flag.Int("trials", 40, "replicates per grid cell")
+		workers   = flag.Int("workers", 0, "shared worker pool for the whole grid (0 = GOMAXPROCS)")
+		rounds    = flag.Int("rounds", 0, "round cap per cell (0 = 400·log₂ n)")
+		seed      = flag.Uint64("seed", 42, "root random seed")
+		c         = flag.Float64("c", passivespread.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
+		format    = flag.String("format", "table", "output format: table, csv or json")
+		chain     = flag.Bool("chain", false, "alias for -engines chain")
 	)
 	flag.Parse()
 
 	if *chain {
-		engineSet := false
-		flag.Visit(func(f *flag.Flag) { engineSet = engineSet || f.Name == "engine" })
-		if engineSet && *engine != "chain" {
-			fmt.Fprintf(os.Stderr, "-chain conflicts with -engine %s\n", *engine)
-			os.Exit(2)
+		enginesSet := false
+		flag.Visit(func(f *flag.Flag) { enginesSet = enginesSet || f.Name == "engines" })
+		if enginesSet && *engines != "chain" {
+			fatalf(2, "-chain conflicts with -engines %s", *engines)
 		}
-		*engine = "chain"
-	}
-	engineKind, err := passivespread.ParseEngine(*engine)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
+		*engines = "chain"
 	}
 
 	ns, err := parseNs(*nsFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatalf(2, "%v", err)
+	}
+	ells, err := parseElls(*ellsFlag)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	engineKinds, err := parseEngines(*engines)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	scenarioList, err := parseScenarios(*scenarios)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatalf(2, "unknown format %q (want table, csv or json)", *format)
 	}
 
-	tab := passivespread.NewTable("n", "ℓ", "trials", "converged", "mean", "median", "p95", "max")
-	medians := make([]float64, 0, len(ns))
-	for _, n := range ns {
-		ell := passivespread.SampleSizeC(n, *c)
-		study, err := passivespread.NewStudy(passivespread.StudySpec{
-			Replicates: *trials,
-			Workers:    *jobs,
-			Options: passivespread.Options{
-				N:           n,
-				Ell:         ell,
-				Seed:        *seed ^ uint64(n)<<20,
-				Engine:      engineKind,
-				Parallelism: *workers,
-			},
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		report, err := study.Run(context.Background())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		conv := report.Convergence
-		tab.AddRow(n, ell, *trials, fmt.Sprintf("%d/%d", conv.Converged, conv.Replicates),
-			conv.Rounds.Mean, conv.Rounds.Median, conv.Rounds.P95, conv.Rounds.Max)
-		medians = append(medians, conv.Rounds.Median)
+	sweep, err := passivespread.NewSweep(passivespread.SweepSpec{
+		Ns:         ns,
+		Ells:       ells,
+		C:          *c,
+		Engines:    engineKinds,
+		Scenarios:  scenarioList,
+		Replicates: *trials,
+		Workers:    *workers,
+		Seed:       *seed,
+		MaxRounds:  *rounds,
+	})
+	if err != nil {
+		fatalf(2, "%v", err)
 	}
 
-	fmt.Printf("FET convergence sweep (engine %s, all-wrong start, ℓ = ⌈%g·log₂n⌉)\n\n",
-		passivespread.EngineName(engineKind), *c)
-	fmt.Print(tab.String())
-	if len(ns) >= 2 {
-		fit := passivespread.FitPolylog(ns, medians)
-		fmt.Printf("\npolylog fit: t_con ≈ %.2f·(ln n)^%.2f (R² = %.3f); paper bound exponent 5/2\n",
-			fit.Coefficient, fit.Exponent, fit.R2)
+	report, err := sweep.Run(context.Background())
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+
+	switch *format {
+	case "csv":
+		if err := report.WriteCSV(os.Stdout); err != nil {
+			fatalf(1, "%v", err)
+		}
+	case "json":
+		data, err := report.JSON()
+		if err != nil {
+			fatalf(1, "%v", err)
+		}
+		fmt.Printf("%s\n", data)
+	default: // "table", validated before the sweep ran
+		printTable(report, ns)
 	}
 }
 
-func parseNs(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	ns := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v < 2 {
-			return nil, fmt.Errorf("bad population size %q", p)
-		}
-		ns = append(ns, v)
+func printTable(report *passivespread.SweepReport, ns []int) {
+	fmt.Printf("FET parameter sweep: %d cells × %d replicates\n\n", report.Cells, report.Replicates)
+	tab := passivespread.NewTable("scenario", "engine", "n", "ℓ", "trials", "converged", "mean", "median", "p95", "max")
+	for _, row := range report.Rows {
+		tab.AddRow(row.Scenario, row.Engine, row.N, row.Ell, row.Replicates,
+			fmt.Sprintf("%d/%d", row.Converged, row.Replicates),
+			row.Mean, row.Median, row.P95, row.Max)
 	}
-	return ns, nil
+	fmt.Print(tab.String())
+
+	// Polylog fits per (scenario, engine) group spanning ≥ 2 population
+	// sizes: the Theorem 1 shape check, t_con ≈ a·(ln n)^b.
+	if len(ns) < 2 {
+		return
+	}
+	type group struct{ scenario, engine string }
+	medians := map[group]map[int]float64{}
+	var order []group
+	for _, row := range report.Rows {
+		g := group{row.Scenario, row.Engine}
+		if medians[g] == nil {
+			medians[g] = map[int]float64{}
+			order = append(order, g)
+		}
+		// With an ℓ axis, keep the first (default-ℓ) cell per n.
+		if _, dup := medians[g][row.N]; !dup {
+			medians[g][row.N] = row.Median
+		}
+	}
+	fmt.Println()
+	for _, g := range order {
+		if len(medians[g]) < 2 {
+			continue
+		}
+		times := make([]float64, 0, len(ns))
+		fitNs := make([]int, 0, len(ns))
+		for _, n := range ns {
+			if m, ok := medians[g][n]; ok {
+				fitNs = append(fitNs, n)
+				times = append(times, m)
+			}
+		}
+		fit := passivespread.FitPolylog(fitNs, times)
+		fmt.Printf("polylog fit [%s/%s]: t_con ≈ %.2f·(ln n)^%.2f (R² = %.3f); paper bound exponent 5/2\n",
+			g.scenario, g.engine, fit.Coefficient, fit.Exponent, fit.R2)
+	}
+}
+
+// parseNs parses the population axis strictly: every entry must be a
+// distinct integer ≥ 2. Empty, duplicate, or non-positive entries are
+// rejected with a pointed error instead of silently producing a
+// degenerate grid.
+func parseNs(s string) ([]int, error) {
+	return parseIntAxis("-ns", s, 2)
+}
+
+// parseElls parses the sample-size axis: distinct integers ≥ 0, where 0
+// selects the default ℓ(n). An empty flag means "default only".
+func parseElls(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	return parseIntAxis("-ells", s, 0)
+}
+
+// parseIntAxis parses a comma-separated list of distinct integers ≥ min.
+func parseIntAxis(flagName, s string, min int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	seen := make(map[int]bool, len(parts))
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("%s: empty entry in %q", flagName, s)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad entry %q (want an integer)", flagName, p)
+		}
+		if v < min {
+			return nil, fmt.Errorf("%s: entry %d out of range (want ≥ %d)", flagName, v, min)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("%s: duplicate entry %d", flagName, v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseEngines(s string) ([]passivespread.EngineKind, error) {
+	parts := strings.Split(s, ",")
+	seen := make(map[passivespread.EngineKind]bool, len(parts))
+	out := make([]passivespread.EngineKind, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-engines: empty entry in %q", s)
+		}
+		kind, err := passivespread.ParseEngine(p)
+		if err != nil {
+			return nil, fmt.Errorf("-engines: unknown engine %q", p)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("-engines: duplicate engine %q", p)
+		}
+		seen[kind] = true
+		out = append(out, kind)
+	}
+	return out, nil
+}
+
+func parseScenarios(s string) ([]passivespread.Scenario, error) {
+	parts := strings.Split(s, ",")
+	seen := make(map[string]bool, len(parts))
+	out := make([]passivespread.Scenario, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-scenarios: empty entry in %q", s)
+		}
+		sc, ok := passivespread.ScenarioByName(p)
+		if !ok {
+			return nil, fmt.Errorf("-scenarios: unknown scenario %q (list them with `fetlab -scenarios`)", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("-scenarios: duplicate scenario %q", p)
+		}
+		seen[p] = true
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func fatalf(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
 }

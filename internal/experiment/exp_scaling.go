@@ -12,19 +12,11 @@ import (
 	"passivespread/internal/tablefmt"
 )
 
+// E01 and E13 — the grid-shaped scaling experiments — are registered by
+// the module root (experiments_scaling.go), where they run through the
+// public Sweep layer instead of hand-rolled loops over internals.
+
 func init() {
-	register(Experiment{
-		ID:       "E01",
-		Title:    "FET convergence-time scaling (agent engine + aggregate chain)",
-		PaperRef: "Theorem 1",
-		Run:      runE01,
-	})
-	register(Experiment{
-		ID:       "E13",
-		Title:    "Sample-size ablation: constant ℓ vs ℓ = Θ(log n)",
-		PaperRef: "Section 5 (future work)",
-		Run:      runE13,
-	})
 	register(Experiment{
 		ID:       "E14",
 		Title:    "FET vs unpartitioned SimpleTrend",
@@ -82,103 +74,6 @@ func chainTrial(n, ell int, x0, x1 float64, seed uint64, cap int) float64 {
 		return float64(cap)
 	}
 	return float64(rounds)
-}
-
-func runE01(cfg Config) (*Report, error) {
-	e, _ := Lookup("E01")
-	rep := newReport(e)
-
-	ns := pick(cfg, []int{256, 1024, 4096, 16384, 65536}, []int{256, 1024, 4096})
-	trials := pick(cfg, 40, 8)
-	inits := []sim.Initializer{
-		adversary.AllWrong{Correct: sim.OpinionOne},
-		adversary.HalfSplit(),
-		adversary.Uniform{},
-	}
-
-	agentTab := tablefmt.New("n", "ℓ", "init", "trials", "mean", "median", "p95", "max")
-	medianByInit := map[string][]float64{}
-	for _, n := range ns {
-		ell := core.SampleSize(n, core.DefaultC)
-		cap := 400 * int(math.Log2(float64(n)))
-		for _, init := range inits {
-			init := init
-			times := parallelTimes(cfg, trials, func(trial int) float64 {
-				seed := cfg.Seed ^ uint64(n)<<20 ^ uint64(trial)
-				return fetTrial(n, ell, init, sim.EngineAgentFast, seed, cap)
-			})
-			s := stats.Summarize(times)
-			agentTab.AddRow(n, ell, init.Name(), trials, s.Mean, s.Median, s.P95, s.Max)
-			medianByInit[init.Name()] = append(medianByInit[init.Name()], s.Median)
-		}
-	}
-	rep.AddTable("agent-engine convergence times (rounds)", agentTab)
-
-	// Polylog fit on the all-wrong medians: the Theorem 1 shape check.
-	fit := stats.FitPolylog(ns, medianByInit["all-wrong"])
-	rep.AddNote("polylog fit (all-wrong medians): t_con ≈ %.2f·(ln n)^%.2f, R²=%.3f; paper upper bound exponent 5/2",
-		fit.Coefficient, fit.Exponent, fit.R2)
-
-	// Aggregate chain extends the sweep far past agent-engine reach.
-	chainNs := pick(cfg,
-		[]int{1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26},
-		[]int{1 << 10, 1 << 14})
-	chainTrials := pick(cfg, 30, 6)
-	chainTab := tablefmt.New("n", "ℓ", "trials", "mean", "median", "p95")
-	chainMedians := make([]float64, 0, len(chainNs))
-	for _, n := range chainNs {
-		ell := core.SampleSize(n, core.DefaultC)
-		cap := 400 * int(math.Log2(float64(n)))
-		times := parallelTimes(cfg, chainTrials, func(trial int) float64 {
-			seed := cfg.Seed ^ uint64(n)<<16 ^ uint64(trial) ^ 0xabcd
-			return chainTrial(n, ell, 0, 0, seed, cap)
-		})
-		s := stats.Summarize(times)
-		chainTab.AddRow(n, ell, chainTrials, s.Mean, s.Median, s.P95)
-		chainMedians = append(chainMedians, s.Median)
-	}
-	rep.AddTable("aggregate-chain convergence times from all-wrong (rounds)", chainTab)
-	chainFit := stats.FitPolylog(chainNs, chainMedians)
-	rep.AddNote("polylog fit (chain, all-wrong): t_con ≈ %.2f·(ln n)^%.2f, R²=%.3f",
-		chainFit.Coefficient, chainFit.Exponent, chainFit.R2)
-	return rep, nil
-}
-
-func runE13(cfg Config) (*Report, error) {
-	e, _ := Lookup("E13")
-	rep := newReport(e)
-
-	n := pick(cfg, 4096, 1024)
-	trials := pick(cfg, 30, 6)
-	cap := 3000 * int(math.Log2(float64(n)))
-	ells := []int{1, 2, 4, 8, 16, 24, core.SampleSize(n, core.DefaultC)}
-	if cfg.Smoke {
-		// The ℓ ∈ {1, 2} heavy tails dominate the quick run (tens of
-		// seconds at the full cap); the smoke scale keeps the shape of
-		// the sweep without them.
-		cap = 200 * int(math.Log2(float64(n)))
-		ells = []int{4, 8, core.SampleSize(n, core.DefaultC)}
-	}
-
-	tab := tablefmt.New("ℓ", "samples/round", "trials", "median t_con", "p95", "converged")
-	for _, ell := range ells {
-		ell := ell
-		converged := make([]bool, trials)
-		times := parallelTimes(cfg, trials, func(trial int) float64 {
-			seed := cfg.Seed ^ uint64(ell)<<24 ^ uint64(trial)
-			t := fetTrial(n, ell, adversary.AllWrong{Correct: sim.OpinionOne},
-				sim.EngineAgentFast, seed, cap)
-			converged[trial] = t < float64(cap)
-			return t
-		})
-		conv := stats.SummarizeConvergence(times, converged)
-		tab.AddRow(ell, 2*ell, trials, conv.Rounds.Median, conv.Rounds.P95,
-			fmt.Sprintf("%d/%d", conv.Converged, conv.Replicates))
-	}
-	rep.AddTable(fmt.Sprintf("n = %d, all-wrong start", n), tab)
-	rep.AddNote("the paper leaves poly-log convergence with O(1) samples open (§5); " +
-		"small constant ℓ still converges empirically but with heavier tails")
-	return rep, nil
 }
 
 func runE14(cfg Config) (*Report, error) {

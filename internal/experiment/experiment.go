@@ -1,6 +1,6 @@
 // Package experiment implements the reproduction harness: one registered
 // experiment per figure, theorem, lemma, or design claim of the paper
-// (see DESIGN.md §3 for the index). Each experiment produces a Report of
+// (see DESIGN.md §4 for the index). Each experiment produces a Report of
 // named sections containing tables and/or text (ASCII maps), which the
 // cmd/fetlab tool renders and EXPERIMENTS.md records.
 package experiment
@@ -101,6 +101,13 @@ var (
 	registryMu sync.Mutex
 	registry   = map[string]Experiment{}
 )
+
+// Register adds an experiment to the global registry; it panics on a
+// duplicate ID (a programming error). Most experiments self-register
+// from this package's init functions; the sweep-based experiments (E01,
+// E13) are registered by the module root, which owns the Sweep layer
+// they build on.
+func Register(e Experiment) { register(e) }
 
 // register adds an experiment to the global registry; it panics on
 // duplicate IDs (a programming error).

@@ -7,14 +7,17 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
-	// IDs must be E01..E22, sorted. E01–E18 reproduce paper artifacts;
-	// E19–E22 are documented extensions.
+	// IDs must be sorted. E02–E18 reproduce paper artifacts and E19–E22
+	// are documented extensions; the sweep-based scaling experiments E01
+	// and E13 are registered by the module root (they build on the public
+	// Sweep layer), so they are absent from this package's own registry —
+	// the root package's experiment tests check the full set of 22.
 	want := []string{
-		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
-		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
+		"E10", "E11", "E12", "E14", "E15", "E16", "E17", "E18",
 		"E19", "E20", "E21", "E22",
 	}
 	for i, e := range all {
@@ -28,8 +31,8 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestLookup(t *testing.T) {
-	if _, ok := Lookup("E01"); !ok {
-		t.Fatal("E01 not found")
+	if _, ok := Lookup("E02"); !ok {
+		t.Fatal("E02 not found")
 	}
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("E99 should not exist")
@@ -42,7 +45,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 			t.Fatal("duplicate register did not panic")
 		}
 	}()
-	register(Experiment{ID: "E01", Title: "dup", PaperRef: "x", Run: nil})
+	Register(Experiment{ID: "E02", Title: "dup", PaperRef: "x", Run: nil})
 }
 
 // TestAllExperimentsRunQuick executes every registered experiment at the

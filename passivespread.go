@@ -42,6 +42,20 @@
 // worst-case defaults) and Run takes a full Config; both are thin
 // wrappers over a single-replicate Study. Per-round visibility is
 // available through typed Observer event streams (Config.Observers).
+//
+// # Sweeps and scenarios
+//
+// Parameter grids — the paper's phase diagrams — are first-class: a
+// SweepSpec crosses the Ns × Ells × Engines × Scenarios axes, NewSweep
+// expands the grid, and Sweep.Run / Sweep.Stream execute every cell's
+// replicates from one shared worker pool, rendering CSV/JSON artifacts
+// (SweepReport). Cell c runs with seed StreamSeed(root, c), extending
+// the replicate rule one level up, so sweep outputs are byte-identical
+// at every worker count. Scenario presets (Scenarios, ScenarioByName,
+// RegisterScenario) name the qualitative conditions: adversarial
+// starts, observation noise, mid-run flips of the correct bit, source
+// counts, baseline protocols, and async/clocked scheduling variants.
+// See DESIGN.md §3.
 package passivespread
 
 import (

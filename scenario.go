@@ -1,0 +1,376 @@
+package passivespread
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"passivespread/internal/adversary"
+	"passivespread/internal/async"
+	"passivespread/internal/clocked"
+)
+
+// Scenario is a named, discoverable preset of the non-grid experimental
+// conditions: the adversarial starting configuration, environment
+// dynamics (observation noise, mid-run flips of the correct bit), the
+// protocol under test, and — for the scheduling variants — a custom
+// per-replicate runner (sequential activation, clocked baselines).
+//
+// Scenarios are the qualitative axis of a Sweep: the grid axes (n, ℓ,
+// engine) say how big and how fast, the scenario says what world the
+// protocol is dropped into. The built-in registry (Scenarios,
+// ScenarioByName) covers the paper's configurations plus the
+// extensions; RegisterScenario adds custom ones.
+//
+// The zero value of every field selects the paper's worst case: all-wrong
+// start, corrupted memories, one source, FET, no noise, no flip,
+// synchronous rounds.
+type Scenario struct {
+	// Name identifies the scenario in registries, CLI flags, and sweep
+	// rows. Required for registration.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Init chooses the starting opinions (nil = all-wrong relative to the
+	// correct opinion, the adversarial default).
+	Init Initializer
+	// KeepMemories, when set, skips the adversarial corruption of agent
+	// internal states before round 0. The default (false) is the paper's
+	// self-stabilizing worst case.
+	KeepMemories bool
+	// Sources is the number of agreeing sources (0 = 1).
+	Sources int
+	// NoiseEps, when positive, flips every observed opinion bit
+	// independently with this probability (must be < 1/2).
+	NoiseEps float64
+	// FlipFrac, when positive, flips the correct opinion at round
+	// ⌈FlipFrac·MaxRounds⌉: the environment changes mid-run and
+	// convergence is judged against the new correct value. Must be < 1.
+	FlipFrac float64
+	// Protocol overrides the update rule under test (nil = FET with the
+	// cell's sample size ℓ). The constructor receives the resolved ℓ;
+	// protocols that ignore it (Voter, 3-Majority) may do so.
+	Protocol func(ell int) Protocol
+	// Run, when non-nil, replaces the synchronous engine path entirely:
+	// the scenario executes each replicate itself (used by the sequential
+	// activation and clocked-baseline scenarios, whose schedulers are not
+	// synchronous rounds). Custom-runner scenarios ignore the sweep's
+	// engine axis; EngineLabel names what ran instead.
+	Run ScenarioRunner
+	// EngineLabel is reported as the engine of custom-runner cells.
+	EngineLabel string
+}
+
+// ScenarioRunner executes one replicate of a custom-scheduled scenario.
+// Implementations derive all randomness from p.Seed, and should return
+// ctx.Err() when interrupted (the built-in runners are bounded by
+// p.MaxRounds and check the context at round granularity or coarser).
+type ScenarioRunner func(ctx context.Context, p ScenarioParams) (Result, error)
+
+// ScenarioParams carries one sweep cell's resolved grid values plus a
+// replicate's derived seed to a ScenarioRunner.
+type ScenarioParams struct {
+	// N is the population size including sources.
+	N int
+	// Ell is the resolved per-half sample size.
+	Ell int
+	// Sources is the resolved number of agreeing sources (≥ 1).
+	Sources int
+	// MaxRounds is the resolved round cap (parallel rounds for
+	// activation-scheduled scenarios).
+	MaxRounds int
+	// Seed is the replicate's derived seed (StreamSeed(cell seed, i)).
+	Seed uint64
+	// Init is the resolved initializer (never nil).
+	Init Initializer
+}
+
+// resolved returns the scenario's defaulted fields: initializer and
+// source count. Scenarios are opinion-symmetric presets, so the correct
+// opinion is always OpinionOne.
+func (sc Scenario) resolved() (Initializer, int) {
+	init := sc.Init
+	if init == nil {
+		init = adversary.AllWrong{Correct: OpinionOne}
+	}
+	sources := sc.Sources
+	if sources == 0 {
+		sources = 1
+	}
+	return init, sources
+}
+
+// validate checks the scenario's own fields (grid-independent).
+func (sc Scenario) validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("%w: scenario has no name", ErrInvalidOptions)
+	}
+	if sc.NoiseEps < 0 || sc.NoiseEps >= 0.5 {
+		return fmt.Errorf("%w: scenario %q: NoiseEps = %v, want in [0, 1/2)", ErrInvalidOptions, sc.Name, sc.NoiseEps)
+	}
+	if sc.FlipFrac < 0 || sc.FlipFrac >= 1 {
+		return fmt.Errorf("%w: scenario %q: FlipFrac = %v, want in [0, 1)", ErrInvalidOptions, sc.Name, sc.FlipFrac)
+	}
+	if sc.Sources < 0 {
+		return fmt.Errorf("%w: scenario %q: Sources = %d, want ≥ 0", ErrInvalidOptions, sc.Name, sc.Sources)
+	}
+	if sc.Run == nil && sc.EngineLabel != "" {
+		return fmt.Errorf("%w: scenario %q: EngineLabel is only meaningful with a custom Run", ErrInvalidOptions, sc.Name)
+	}
+	return nil
+}
+
+// config builds the per-replicate simulation template of a synchronous
+// sweep cell. The cell seed goes into Config.Seed (the Study root seed).
+func (sc Scenario) config(n, ell, maxRounds int, engine EngineKind, parallelism int, cellSeed uint64) Config {
+	init, sources := sc.resolved()
+	var proto Protocol
+	if sc.Protocol != nil {
+		proto = sc.Protocol(ell)
+	} else {
+		proto = NewFET(ell)
+	}
+	flipAt := 0
+	if sc.FlipFrac > 0 {
+		flipAt = int(math.Ceil(sc.FlipFrac * float64(maxRounds)))
+		if flipAt < 1 {
+			flipAt = 1
+		}
+	}
+	return Config{
+		N:             n,
+		Sources:       sources,
+		Correct:       OpinionOne,
+		Protocol:      proto,
+		Init:          init,
+		Engine:        engine,
+		Parallelism:   parallelism,
+		Seed:          cellSeed,
+		MaxRounds:     maxRounds,
+		CorruptStates: !sc.KeepMemories,
+		NoiseEps:      sc.NoiseEps,
+		FlipCorrectAt: flipAt,
+	}
+}
+
+// chainCompatible reports whether the scenario can run on the
+// EngineMarkovChain pseudo-engine, which models exactly the default FET
+// process: one source, no noise, no flips, no per-agent protocol or
+// scheduler overrides, and an initializer with a deterministic opinion
+// fraction.
+func (sc Scenario) chainCompatible() bool {
+	if sc.Run != nil || sc.Protocol != nil || sc.NoiseEps != 0 || sc.FlipFrac != 0 || sc.Sources > 1 {
+		return false
+	}
+	switch sc.Init.(type) {
+	case nil, adversary.AllWrong, adversary.AllCorrect, adversary.Fraction:
+		return true
+	default:
+		return false
+	}
+}
+
+// options builds the Options-form study template for a chain cell.
+func (sc Scenario) options(n, ell, maxRounds int, cellSeed uint64) Options {
+	return Options{
+		N:         n,
+		Ell:       ell,
+		Seed:      cellSeed,
+		Sources:   sc.Sources,
+		Init:      sc.Init,
+		MaxRounds: maxRounds,
+		Engine:    EngineMarkovChain,
+	}
+}
+
+// The scenario registry. Registration order is preserved (listings show
+// the worst case first, extensions last).
+
+var (
+	scenarioMu    sync.Mutex
+	scenarioOrder []string
+	scenarioByNm  = map[string]Scenario{}
+)
+
+// RegisterScenario adds a scenario to the global registry. It fails on a
+// duplicate or empty name and on malformed fields, so a bad preset is
+// rejected at registration rather than inside every sweep using it.
+func RegisterScenario(sc Scenario) error {
+	if err := sc.validate(); err != nil {
+		return err
+	}
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarioByNm[sc.Name]; dup {
+		return fmt.Errorf("%w: scenario %q is already registered", ErrInvalidOptions, sc.Name)
+	}
+	scenarioOrder = append(scenarioOrder, sc.Name)
+	scenarioByNm[sc.Name] = sc
+	return nil
+}
+
+// mustRegisterScenario registers a built-in preset; a failure is a
+// programming error.
+func mustRegisterScenario(sc Scenario) {
+	if err := RegisterScenario(sc); err != nil {
+		panic(err)
+	}
+}
+
+// Scenarios returns every registered scenario in registration order
+// (built-ins first).
+func Scenarios() []Scenario {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	out := make([]Scenario, 0, len(scenarioOrder))
+	for _, name := range scenarioOrder {
+		out = append(out, scenarioByNm[name])
+	}
+	return out
+}
+
+// ScenarioByName returns the registered scenario with the given name.
+func ScenarioByName(name string) (Scenario, bool) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	sc, ok := scenarioByNm[name]
+	return sc, ok
+}
+
+// DefaultScenario is the name of the paper's headline configuration
+// (all-wrong start with corrupted memories), used when a SweepSpec names
+// no scenarios.
+const DefaultScenario = "worst-case"
+
+func init() {
+	mustRegisterScenario(Scenario{
+		Name:        DefaultScenario,
+		Description: "all-wrong start, corrupted memories (the paper's headline adversarial case)",
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "half-split",
+		Description: "exact 50/50 opinion split, corrupted memories (maximally undecided start)",
+		Init:        adversary.HalfSplit(),
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "uniform",
+		Description: "independent fair-coin opinions, corrupted memories",
+		Init:        adversary.Uniform{},
+	})
+	mustRegisterScenario(Scenario{
+		Name:         "clean-start",
+		Description:  "all-wrong opinions but fresh (uncorrupted) memories",
+		KeepMemories: true,
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "noisy",
+		Description: "worst case under ε = 0.1 observation noise (Feinerman et al. model)",
+		NoiseEps:    0.1,
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "trend-flip",
+		Description: "correct bit flips halfway through the horizon; re-stabilization is required",
+		FlipFrac:    0.5,
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "multi-source",
+		Description: "eight agreeing sources from the all-wrong start (§5 extension)",
+		Sources:     8,
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "simple-trend",
+		Description: "unpartitioned SimpleTrend variant (§1.3) from the worst case",
+		Protocol:    func(ell int) Protocol { return NewSimpleTrend(ell) },
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "voter-control",
+		Description: "Voter baseline vs a stubborn source (§1.4 control; expected not to converge)",
+		Protocol:    func(int) Protocol { return Voter() },
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "async",
+		Description: "sequential-activation (population-protocol) scheduling; documented negative result",
+		Run:         runAsyncScenario,
+		EngineLabel: "async",
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "clocked-shared",
+		Description: "Section 1.4 clocked phase baseline with a shared global clock",
+		Run:         clockedRunner(ModeSharedClock, false),
+		EngineLabel: "clocked-shared",
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "clocked-local",
+		Description: "clocked phase baseline with adversarially desynchronized local clocks (non-passive messages)",
+		Run:         clockedRunner(ModeLocalClocks, true),
+		EngineLabel: "clocked-local",
+	})
+}
+
+// runAsyncScenario executes one replicate under sequential activation
+// (internal/async). Time is reported in parallel units: n activations =
+// one round-equivalent, so the Result maps onto the synchronous shape.
+func runAsyncScenario(ctx context.Context, p ScenarioParams) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	r, err := async.Run(async.Config{
+		N:                 p.N,
+		Ell:               p.Ell,
+		Sources:           p.Sources,
+		Correct:           OpinionOne,
+		Init:              p.Init,
+		CorruptStates:     true,
+		Seed:              p.Seed,
+		MaxParallelRounds: p.MaxRounds,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Converged: r.Converged,
+		Round:     -1,
+		Rounds:    (r.Activations + p.N - 1) / p.N,
+		FinalX:    r.FinalX,
+	}
+	if r.Converged {
+		res.Round = int(math.Ceil(r.ParallelRound))
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// clockedRunner returns a ScenarioRunner for the clocked phase baseline
+// in the given mode.
+func clockedRunner(mode ClockedMode, desync bool) ScenarioRunner {
+	return func(ctx context.Context, p ScenarioParams) (Result, error) {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		r, err := clocked.Run(clocked.Config{
+			N:            p.N,
+			Sources:      p.Sources,
+			Correct:      OpinionOne,
+			Mode:         mode,
+			DesyncClocks: desync,
+			Init:         p.Init,
+			Seed:         p.Seed,
+			MaxRounds:    p.MaxRounds,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Converged: r.Converged,
+			Round:     r.Round,
+			Rounds:    r.Rounds,
+			FinalX:    r.FinalX,
+		}, nil
+	}
+}

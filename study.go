@@ -286,12 +286,27 @@ func (s *Study) Run(ctx context.Context) (*StudyReport, error) {
 		return nil, fmt.Errorf("passivespread: study lost %d of %d replicates", s.replicates-received, s.replicates)
 	}
 
-	times := make([]float64, s.replicates)
-	converged := make([]bool, s.replicates)
 	for i, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("replicate %d: %w", i, r.Err)
 		}
+	}
+	times, converged := censorConvergence(results)
+	return &StudyReport{
+		Convergence: stats.SummarizeConvergence(times, converged),
+		Results:     results,
+	}, nil
+}
+
+// censorConvergence maps error-free replicate results onto the t_con
+// sample aggregated by stats.SummarizeConvergence: a converged
+// replicate contributes its convergence round, a non-converged one is
+// censored at its executed round count. Study and Sweep both aggregate
+// through this single copy of the convention.
+func censorConvergence(results []RunResult) (times []float64, converged []bool) {
+	times = make([]float64, len(results))
+	converged = make([]bool, len(results))
+	for i, r := range results {
 		if r.Result.Converged {
 			times[i] = float64(r.Result.Round)
 			converged[i] = true
@@ -299,10 +314,7 @@ func (s *Study) Run(ctx context.Context) (*StudyReport, error) {
 			times[i] = float64(r.Result.Rounds)
 		}
 	}
-	return &StudyReport{
-		Convergence: stats.SummarizeConvergence(times, converged),
-		Results:     results,
-	}, nil
+	return times, converged
 }
 
 // runSingle backs the Disseminate/Run compatibility wrappers: replicate 0

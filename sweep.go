@@ -1,0 +1,617 @@
+package passivespread
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"passivespread/internal/rng"
+	"passivespread/internal/stats"
+)
+
+// SweepSpec describes a parameter grid: the cross-product of the
+// population, sample-size, engine, and scenario axes, with Replicates
+// independent runs per cell. A Sweep is the batch layer above Study —
+// where a Study answers "what does this configuration do", a Sweep
+// answers "what does the phase diagram look like".
+//
+// Cells expand in a fixed, documented order (see NewSweep) and cell c's
+// study runs with root seed StreamSeed(Seed, c), from which replicate i
+// derives StreamSeed(StreamSeed(Seed, c), i) — the repository's single
+// SplitMix64 stream rule, applied twice. Seeds depend only on (root
+// seed, cell index, replicate index), never on scheduling, so a sweep's
+// rows are bit-identical at every Workers value.
+type SweepSpec struct {
+	// Ns is the population-size axis (required, each ≥ 2, no duplicates).
+	Ns []int
+	// Ells is the per-half sample-size axis. An entry of 0 selects the
+	// default ℓ = ⌈c·log₂ n⌉ for each cell's n. Nil means [0].
+	Ells []int
+	// C overrides the sample-size constant used when an Ells entry is 0
+	// (0 = DefaultC; must be positive otherwise).
+	C float64
+	// Engines is the engine axis (nil = [EngineAgentFast]). Scenarios
+	// with a custom runner define their own scheduling and require this
+	// axis to have at most one entry.
+	Engines []EngineKind
+	// Scenarios is the scenario axis (nil = the worst-case preset).
+	// Entries need not be registered; they are validated directly.
+	Scenarios []Scenario
+	// Replicates is the number of runs per cell (required, ≥ 1).
+	Replicates int
+	// Workers bounds the sweep's one shared worker pool (0 = GOMAXPROCS).
+	// Cells and replicates draw from the same budget: all
+	// cells × replicates work items feed one pool, so small cells cannot
+	// starve the grid and the last straggler cell still saturates the
+	// hardware. Scheduling never affects results.
+	Workers int
+	// Seed is the sweep's root seed.
+	Seed uint64
+	// MaxRounds overrides the per-cell round cap (0 = 400·log₂ n per
+	// cell).
+	MaxRounds int
+	// Parallelism bounds EngineAgentParallel's inner worker count per
+	// replicate (0 = 1: the sweep already parallelizes across cells and
+	// replicates, so inner sharding would only oversubscribe the CPUs —
+	// set this explicitly to shard within replicates anyway). Any value
+	// yields bit-identical results.
+	Parallelism int
+}
+
+// SweepCell identifies one grid cell of a prepared Sweep.
+type SweepCell struct {
+	// Index is the cell's position in expansion order.
+	Index int
+	// Scenario is the cell's scenario name.
+	Scenario string
+	// Engine is the display name of what executes the cell (an engine
+	// name, or a custom-runner scenario's EngineLabel).
+	Engine string
+	// N and Ell are the resolved grid values.
+	N, Ell int
+	// Seed is the cell's derived root seed, StreamSeed(sweep seed, Index).
+	Seed uint64
+}
+
+// SweepRow is one cell's aggregated outcome. Rows marshal directly to
+// the sweep's CSV and JSON artifacts.
+type SweepRow struct {
+	// Cell is the cell index in expansion order.
+	Cell int `json:"cell"`
+	// Scenario and Engine name the cell's conditions.
+	Scenario string `json:"scenario"`
+	Engine   string `json:"engine"`
+	// N and Ell are the resolved grid values.
+	N   int `json:"n"`
+	Ell int `json:"ell"`
+	// Seed is the cell's derived root seed.
+	Seed uint64 `json:"seed"`
+	// Replicates is the number of runs aggregated.
+	Replicates int `json:"replicates"`
+	// Converged counts replicates that met the absorption criterion.
+	Converged int `json:"converged"`
+	// SuccessRate is Converged / Replicates.
+	SuccessRate float64 `json:"success_rate"`
+	// Mean, Median, P95 and Max summarize the replicate convergence
+	// times, with non-converged replicates censored at their executed
+	// round count.
+	Mean   float64 `json:"mean_rounds"`
+	Median float64 `json:"median_rounds"`
+	P95    float64 `json:"p95_rounds"`
+	Max    float64 `json:"max_rounds"`
+	// Err is the first replicate failure, if any (statistics are zero
+	// then). Context cancellation never surfaces here: interrupted cells
+	// are dropped, not reported.
+	Err string `json:"error,omitempty"`
+}
+
+// SweepReport is the aggregate output of Sweep.Run: completed rows in
+// cell order plus the planned grid size.
+type SweepReport struct {
+	// Cells is the number of planned grid cells.
+	Cells int `json:"cells"`
+	// Replicates is the per-cell replicate count.
+	Replicates int `json:"replicates"`
+	// Rows holds the completed cells ordered by cell index. After a
+	// cancelled run this may be a prefix-complete subset of the grid.
+	Rows []SweepRow `json:"rows"`
+}
+
+// sweepCell pairs a cell's public identity with its executable form:
+// either a prepared Study (synchronous engines, chain) or a scenario
+// runner with resolved parameters.
+type sweepCell struct {
+	meta   SweepCell
+	study  *Study
+	runner ScenarioRunner
+	params ScenarioParams
+}
+
+// runReplicate executes replicate i of the cell with its derived seed.
+func (c *sweepCell) runReplicate(ctx context.Context, i int) RunResult {
+	if c.study != nil {
+		return c.study.runReplicate(ctx, i)
+	}
+	p := c.params
+	p.Seed = rng.StreamSeed(c.meta.Seed, uint64(i))
+	rr := RunResult{Replicate: i, Seed: p.Seed}
+	rr.Result, rr.Err = c.runner(ctx, p)
+	return rr
+}
+
+// Sweep is a prepared parameter grid. Construct with NewSweep; run with
+// Run (ordered report) or Stream (rows as cells finish).
+type Sweep struct {
+	cells      []sweepCell
+	replicates int
+	workers    int
+}
+
+// NewSweep validates spec, expands the grid, and prepares every cell
+// (all per-cell validation happens here, not mid-run).
+//
+// Cells expand scenario-major: for each scenario, for each engine, for
+// each n, for each ℓ — so cell index = ((s·|Engines| + e)·|Ns| + n)·|Ells| + ℓ
+// in axis order. The expansion order is part of the seed contract:
+// reordering axis values re-seeds cells, while changing Replicates,
+// Workers, or axis *lengths elsewhere in the grid* does not affect a
+// cell with the same index.
+func NewSweep(spec SweepSpec) (*Sweep, error) {
+	if spec.Replicates < 1 {
+		return nil, fmt.Errorf("%w: Replicates = %d, want ≥ 1", ErrInvalidOptions, spec.Replicates)
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("%w: Workers = %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
+	}
+	if spec.MaxRounds < 0 {
+		return nil, fmt.Errorf("%w: MaxRounds = %d, want ≥ 0", ErrInvalidOptions, spec.MaxRounds)
+	}
+	if spec.C < 0 || math.IsNaN(spec.C) {
+		return nil, fmt.Errorf("%w: C = %v, want > 0 (0 = DefaultC)", ErrInvalidOptions, spec.C)
+	}
+	if len(spec.Ns) == 0 {
+		return nil, fmt.Errorf("%w: Ns axis is empty", ErrInvalidOptions)
+	}
+	seenN := make(map[int]bool, len(spec.Ns))
+	for _, n := range spec.Ns {
+		if n < 2 {
+			return nil, fmt.Errorf("%w: population size %d, want ≥ 2", ErrInvalidOptions, n)
+		}
+		if seenN[n] {
+			return nil, fmt.Errorf("%w: duplicate population size %d", ErrInvalidOptions, n)
+		}
+		seenN[n] = true
+	}
+	ells := spec.Ells
+	if len(ells) == 0 {
+		ells = []int{0}
+	}
+	seenEll := make(map[int]bool, len(ells))
+	for _, ell := range ells {
+		if ell < 0 {
+			return nil, fmt.Errorf("%w: sample size ℓ = %d, want ≥ 0", ErrInvalidOptions, ell)
+		}
+		if seenEll[ell] {
+			return nil, fmt.Errorf("%w: duplicate sample size ℓ = %d", ErrInvalidOptions, ell)
+		}
+		seenEll[ell] = true
+	}
+	engines := spec.Engines
+	if len(engines) == 0 {
+		engines = []EngineKind{EngineAgentFast}
+	}
+	seenEng := make(map[EngineKind]bool, len(engines))
+	for _, e := range engines {
+		if seenEng[e] {
+			return nil, fmt.Errorf("%w: duplicate engine %s", ErrInvalidOptions, EngineName(e))
+		}
+		seenEng[e] = true
+	}
+	scenarios := spec.Scenarios
+	if len(scenarios) == 0 {
+		sc, ok := ScenarioByName(DefaultScenario)
+		if !ok {
+			return nil, fmt.Errorf("%w: default scenario %q is not registered", ErrInvalidOptions, DefaultScenario)
+		}
+		scenarios = []Scenario{sc}
+	}
+	seenSc := make(map[string]bool, len(scenarios))
+	for _, sc := range scenarios {
+		if err := sc.validate(); err != nil {
+			return nil, err
+		}
+		if seenSc[sc.Name] {
+			return nil, fmt.Errorf("%w: duplicate scenario %q", ErrInvalidOptions, sc.Name)
+		}
+		seenSc[sc.Name] = true
+		if sc.Run != nil && len(engines) > 1 {
+			return nil, fmt.Errorf("%w: scenario %q has its own scheduler and cannot cross the engine axis %v; sweep it separately",
+				ErrInvalidOptions, sc.Name, engineNames(engines))
+		}
+	}
+
+	c := spec.C
+	if c == 0 {
+		c = DefaultC
+	}
+	parallelism := spec.Parallelism
+	if parallelism == 0 {
+		parallelism = 1
+	}
+	s := &Sweep{replicates: spec.Replicates}
+	s.cells = make([]sweepCell, 0, len(scenarios)*len(engines)*len(spec.Ns)*len(ells))
+	for _, sc := range scenarios {
+		for _, engine := range engines {
+			for _, n := range spec.Ns {
+				for _, specEll := range ells {
+					idx := len(s.cells)
+					ell := specEll
+					if ell == 0 {
+						ell = SampleSizeC(n, c)
+					}
+					maxRounds := spec.MaxRounds
+					if maxRounds == 0 {
+						maxRounds = DefaultMaxRounds(n)
+					}
+					cell, err := newSweepCell(idx, sc, engine, n, ell, maxRounds, parallelism,
+						rng.StreamSeed(spec.Seed, uint64(idx)), spec.Replicates)
+					if err != nil {
+						return nil, fmt.Errorf("cell %d (scenario %s, engine %s, n=%d, ℓ=%d): %w",
+							idx, sc.Name, EngineName(engine), n, ell, err)
+					}
+					s.cells = append(s.cells, cell)
+				}
+			}
+		}
+	}
+
+	workers := spec.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total := len(s.cells) * spec.Replicates; workers > total {
+		workers = total
+	}
+	s.workers = workers
+	return s, nil
+}
+
+// newSweepCell prepares one grid cell.
+func newSweepCell(idx int, sc Scenario, engine EngineKind, n, ell, maxRounds, parallelism int,
+	cellSeed uint64, replicates int) (sweepCell, error) {
+	cell := sweepCell{meta: SweepCell{
+		Index:    idx,
+		Scenario: sc.Name,
+		Engine:   EngineName(engine),
+		N:        n,
+		Ell:      ell,
+		Seed:     cellSeed,
+	}}
+	switch {
+	case sc.Run != nil:
+		init, sources := sc.resolved()
+		cell.meta.Engine = sc.EngineLabel
+		if cell.meta.Engine == "" {
+			cell.meta.Engine = sc.Name
+		}
+		cell.runner = sc.Run
+		cell.params = ScenarioParams{N: n, Ell: ell, Sources: sources, MaxRounds: maxRounds, Init: init}
+		return cell, nil
+	case engine == EngineMarkovChain:
+		if !sc.chainCompatible() {
+			return cell, fmt.Errorf("%w: scenario %q is not expressible on the Markov-chain engine", ErrInvalidOptions, sc.Name)
+		}
+		study, err := NewStudy(StudySpec{
+			Replicates: replicates,
+			Workers:    1, // the sweep schedules replicates itself
+			Options:    sc.options(n, ell, maxRounds, cellSeed),
+		})
+		if err != nil {
+			return cell, err
+		}
+		cell.study = study
+		return cell, nil
+	default:
+		cfg := sc.config(n, ell, maxRounds, engine, parallelism, cellSeed)
+		study, err := NewStudy(StudySpec{Replicates: replicates, Workers: 1, Config: &cfg})
+		if err != nil {
+			return cell, err
+		}
+		cell.study = study
+		return cell, nil
+	}
+}
+
+func engineNames(engines []EngineKind) []string {
+	out := make([]string, len(engines))
+	for i, e := range engines {
+		out[i] = EngineName(e)
+	}
+	return out
+}
+
+// Cells returns the planned grid in expansion order, with each cell's
+// derived seed — the sweep-level view of the seed contract.
+func (s *Sweep) Cells() []SweepCell {
+	out := make([]SweepCell, len(s.cells))
+	for i, c := range s.cells {
+		out[i] = c.meta
+	}
+	return out
+}
+
+// Replicates returns the per-cell replicate count.
+func (s *Sweep) Replicates() int { return s.replicates }
+
+// Workers returns the resolved shared worker-pool size.
+func (s *Sweep) Workers() int { return s.workers }
+
+// Stream starts the sweep and returns a channel delivering each cell's
+// SweepRow as its last replicate finishes (completion order; row content
+// is deterministic regardless of order). All cells × replicates work
+// items feed one shared worker pool. The channel is closed once every
+// cell has been delivered or the context has ended; after cancellation,
+// completed cells already streamed stand, interrupted cells are dropped,
+// and in-flight replicates finish within one simulated round. The caller
+// must drain the channel or cancel ctx, or the pool leaks.
+func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
+	out := make(chan SweepRow)
+	go func() {
+		defer close(out)
+		type task struct{ cell, rep int }
+		type taskDone struct {
+			cell int
+			res  RunResult
+		}
+		tasks := make(chan task)
+		results := make(chan taskDone)
+		var wg sync.WaitGroup
+		for w := 0; w < s.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range tasks {
+					res := s.cells[t.cell].runReplicate(ctx, t.rep)
+					select {
+					case results <- taskDone{t.cell, res}:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+		feed:
+			for c := range s.cells {
+				for r := 0; r < s.replicates; r++ {
+					select {
+					case tasks <- task{c, r}:
+					case <-ctx.Done():
+						break feed
+					}
+				}
+			}
+			close(tasks)
+			wg.Wait()
+			close(results)
+		}()
+
+		pending := make([][]RunResult, len(s.cells))
+		remaining := make([]int, len(s.cells))
+		for i := range remaining {
+			remaining[i] = s.replicates
+		}
+		for d := range results {
+			cell := d.cell
+			if pending[cell] == nil {
+				pending[cell] = make([]RunResult, s.replicates)
+			}
+			pending[cell][d.res.Replicate] = d.res
+			if remaining[cell]--; remaining[cell] > 0 {
+				continue
+			}
+			row, ok := s.row(cell, pending[cell])
+			pending[cell] = nil
+			if !ok {
+				continue // interrupted mid-run; drop, don't misreport
+			}
+			select {
+			case out <- row:
+			case <-ctx.Done():
+				// The consumer may be gone; keep draining results so the
+				// workers can exit.
+			}
+		}
+	}()
+	return out
+}
+
+// row aggregates one completed cell. It reports ok = false when a
+// replicate was interrupted by context cancellation (the cell is then
+// incomplete work, not a result).
+func (s *Sweep) row(cell int, results []RunResult) (SweepRow, bool) {
+	meta := s.cells[cell].meta
+	row := SweepRow{
+		Cell:       meta.Index,
+		Scenario:   meta.Scenario,
+		Engine:     meta.Engine,
+		N:          meta.N,
+		Ell:        meta.Ell,
+		Seed:       meta.Seed,
+		Replicates: s.replicates,
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+			return SweepRow{}, false
+		}
+		if row.Err == "" {
+			row.Err = fmt.Sprintf("replicate %d: %v", i, r.Err)
+		}
+	}
+	if row.Err != "" {
+		return row, true
+	}
+	times, converged := censorConvergence(results)
+	conv := stats.SummarizeConvergence(times, converged)
+	row.Converged = conv.Converged
+	row.SuccessRate = conv.SuccessRate
+	row.Mean = conv.Rounds.Mean
+	row.Median = conv.Rounds.Median
+	row.P95 = conv.Rounds.P95
+	row.Max = conv.Rounds.Max
+	return row, true
+}
+
+// Run executes the whole grid across the shared worker pool and returns
+// the rows ordered by cell index — bit-identical for any Workers value
+// on a fixed root seed. On context cancellation Run returns the
+// completed rows alongside ctx.Err(); on a replicate failure it returns
+// the full report alongside an error naming the first failing cell.
+func (s *Sweep) Run(ctx context.Context) (*SweepReport, error) {
+	rep := &SweepReport{Cells: len(s.cells), Replicates: s.replicates}
+	for row := range s.Stream(ctx) {
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Cell < rep.Rows[j].Cell })
+	if len(rep.Rows) < len(s.cells) {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		return rep, fmt.Errorf("passivespread: sweep lost %d of %d cells", len(s.cells)-len(rep.Rows), len(s.cells))
+	}
+	for _, row := range rep.Rows {
+		if row.Err != "" {
+			return rep, fmt.Errorf("passivespread: sweep cell %d (scenario %s, engine %s, n=%d, ℓ=%d): %s",
+				row.Cell, row.Scenario, row.Engine, row.N, row.Ell, row.Err)
+		}
+	}
+	return rep, nil
+}
+
+// sweepCSVHeader is the column order of the CSV artifact.
+var sweepCSVHeader = []string{
+	"cell", "scenario", "engine", "n", "ell", "seed", "replicates",
+	"converged", "success_rate", "mean_rounds", "median_rounds", "p95_rounds", "max_rounds", "error",
+}
+
+// WriteCSV renders the report's rows as a CSV artifact. Formatting is
+// deterministic (shortest round-trip float encoding), so equal reports
+// render byte-identically.
+func (r *SweepReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sweepCSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.Cell), row.Scenario, row.Engine,
+			strconv.Itoa(row.N), strconv.Itoa(row.Ell),
+			strconv.FormatUint(row.Seed, 10), strconv.Itoa(row.Replicates),
+			strconv.Itoa(row.Converged), f(row.SuccessRate),
+			f(row.Mean), f(row.Median), f(row.P95), f(row.Max), row.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV returns the report's CSV artifact as a string.
+func (r *SweepReport) CSV() string {
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		// strings.Builder never errors; a csv quoting failure would be a
+		// programming error in the renderer.
+		panic(err)
+	}
+	return b.String()
+}
+
+// JSON returns the report as an indented JSON artifact.
+func (r *SweepReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseSweepJSON parses a report rendered by SweepReport.JSON.
+func ParseSweepJSON(data []byte) (*SweepReport, error) {
+	var rep SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("passivespread: parsing sweep JSON: %w", err)
+	}
+	return &rep, nil
+}
+
+// ParseSweepCSV parses rows rendered by SweepReport.WriteCSV.
+func ParseSweepCSV(r io.Reader) ([]SweepRow, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("passivespread: parsing sweep CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("passivespread: sweep CSV has no header")
+	}
+	if got, want := strings.Join(records[0], ","), strings.Join(sweepCSVHeader, ","); got != want {
+		return nil, fmt.Errorf("passivespread: sweep CSV header %q, want %q", got, want)
+	}
+	rows := make([]SweepRow, 0, len(records)-1)
+	for lineNo, rec := range records[1:] {
+		if len(rec) != len(sweepCSVHeader) {
+			return nil, fmt.Errorf("passivespread: sweep CSV row %d has %d fields, want %d", lineNo+2, len(rec), len(sweepCSVHeader))
+		}
+		var row SweepRow
+		var parseErr error
+		atoi := func(s string) int {
+			v, err := strconv.Atoi(s)
+			if err != nil && parseErr == nil {
+				parseErr = err
+			}
+			return v
+		}
+		atof := func(s string) float64 {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil && parseErr == nil {
+				parseErr = err
+			}
+			return v
+		}
+		row.Cell = atoi(rec[0])
+		row.Scenario = rec[1]
+		row.Engine = rec[2]
+		row.N = atoi(rec[3])
+		row.Ell = atoi(rec[4])
+		seed, err := strconv.ParseUint(rec[5], 10, 64)
+		if err != nil && parseErr == nil {
+			parseErr = err
+		}
+		row.Seed = seed
+		row.Replicates = atoi(rec[6])
+		row.Converged = atoi(rec[7])
+		row.SuccessRate = atof(rec[8])
+		row.Mean = atof(rec[9])
+		row.Median = atof(rec[10])
+		row.P95 = atof(rec[11])
+		row.Max = atof(rec[12])
+		row.Err = rec[13]
+		if parseErr != nil {
+			return nil, fmt.Errorf("passivespread: sweep CSV row %d: %w", lineNo+2, parseErr)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
