@@ -147,6 +147,53 @@ func BenchmarkEngineRound(b *testing.B) {
 	}
 }
 
+// BenchmarkTopologyStep measures the per-round cost of the agent engine
+// across observation topologies at n = 10⁴: complete keeps the
+// tabulated-binomial fast path (the pre-topology cost), the graph
+// topologies pay literal neighbor reads, and dynamic rewiring adds the
+// per-agent row-resampling stream. Recorded results live in
+// BENCH_topology.json and are gated by the benchgate CI job.
+func BenchmarkTopologyStep(b *testing.B) {
+	topologies := []struct {
+		name string
+		tp   Topology
+	}{
+		{"complete", nil},
+		{"random-regular", RandomRegular(8)},
+		{"small-world", SmallWorld(4, 0.1)},
+		{"dynamic", DynamicRewire(8, 0.2)},
+	}
+	n := 10_000 // 100²: admissible for every built-in topology
+	for _, tc := range topologies {
+		b.Run(fmt.Sprintf("n=%d/%s", n, tc.name), func(b *testing.B) {
+			ell := SampleSize(n)
+			res, err := Run(Config{
+				N:         n,
+				Protocol:  NewFET(ell),
+				Init:      FractionInit(0.5),
+				Correct:   OpinionOne,
+				Topology:  tc.tp,
+				Seed:      1,
+				MaxRounds: b.N,
+				RunToEnd:  true,
+				Observers: []Observer{ObserverFunc(func(ev RoundEvent) error {
+					if ev.Round == 0 {
+						// Exclude population and graph construction from the
+						// per-round measurement.
+						b.ResetTimer()
+					}
+					return nil
+				})},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+			b.ReportMetric(float64(n), "agents/round")
+		})
+	}
+}
+
 // BenchmarkAggregateWorstCase measures a complete worst-case
 // dissemination (all-wrong start, corrupted memories) at n = 10⁸ on the
 // occupancy engine — the run that is out of reach for the agent engines.

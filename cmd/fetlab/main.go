@@ -1,12 +1,13 @@
-// Command fetlab runs the reproduction experiments (E01–E18), one per
-// figure, theorem, lemma, or design claim of the paper. See DESIGN.md §4
-// for the experiment index and EXPERIMENTS.md for recorded full-size
-// results.
+// Command fetlab runs the reproduction experiments (E01–E23), one per
+// figure, theorem, lemma, design claim, or extension of the paper. See
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// full-size results.
 //
 // Usage:
 //
 //	fetlab -list
 //	fetlab -scenarios
+//	fetlab -topologies
 //	fetlab -run E01,E02 [-quick] [-seed 42] [-format text|markdown]
 //	fetlab -all [-quick]
 //
@@ -26,14 +27,15 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list registered experiments and exit")
-		scenarios = flag.Bool("scenarios", false, "list registered sweep scenarios and exit")
-		runIDs    = flag.String("run", "", "comma-separated experiment IDs to run (e.g. E01,E03)")
-		all       = flag.Bool("all", false, "run every experiment")
-		quick     = flag.Bool("quick", false, "reduced sweep sizes (CI scale)")
-		seed      = flag.Uint64("seed", 42, "root random seed")
-		format    = flag.String("format", "text", "output format: text or markdown")
-		workers   = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs)")
+		list       = flag.Bool("list", false, "list registered experiments and exit")
+		scenarios  = flag.Bool("scenarios", false, "list registered sweep scenarios and exit")
+		topologies = flag.Bool("topologies", false, "list the observation-topology specs and exit")
+		runIDs     = flag.String("run", "", "comma-separated experiment IDs to run (e.g. E01,E03)")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "reduced sweep sizes (CI scale)")
+		seed       = flag.Uint64("seed", 42, "root random seed")
+		format     = flag.String("format", "text", "output format: text or markdown")
+		workers    = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -45,8 +47,16 @@ func main() {
 	}
 	if *scenarios {
 		for _, sc := range passivespread.Scenarios() {
-			fmt.Printf("%-15s %s\n", sc.Name, sc.Description)
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
 		}
+		return
+	}
+	if *topologies {
+		for _, tp := range passivespread.TopologySpecs() {
+			fmt.Printf("%-24s %s\n", tp.Spec, tp.Description)
+		}
+		fmt.Println("\nuse with `fetsim -topology <spec>` or `fetsweep -topologies <spec,...>`;")
+		fmt.Println("agent engines only (aggregate and chain are exact only under uniform mixing)")
 		return
 	}
 

@@ -9,6 +9,13 @@
 //	fetsim -n 1000000 -engine parallel [-workers 8]
 //	fetsim -n 4096 -replicates 100 [-jobs 8]
 //	fetsim -n 1000000000 -engine chain -replicates 50
+//	fetsim -n 4096 -topology small-world:4:0.1 [-replicates 20]
+//	fetsim -n 1024 -topology ring:2 -trajectory
+//
+// -topology selects the observation topology (default complete, the
+// paper's uniform mixing): ring[:k], torus, random-regular[:k],
+// small-world[:k[:beta]] or dynamic[:k[:p]]. Non-complete topologies
+// run on the agent engines (fast, exact, parallel) only.
 package main
 
 import (
@@ -33,6 +40,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		rounds     = flag.Int("rounds", 0, "round cap (0 = 400·log₂ n)")
 		engine     = flag.String("engine", "fast", "engine: fast, exact, parallel, aggregate or chain")
+		topology   = flag.String("topology", "complete", "observation topology: complete, ring[:k], torus, random-regular[:k], small-world[:k[:beta]], dynamic[:k[:p]]")
 		workers    = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
 		replicates = flag.Int("replicates", 1, "number of replicate runs (a study when > 1)")
 		jobs       = flag.Int("jobs", 0, "concurrent replicates (0 = GOMAXPROCS)")
@@ -51,6 +59,14 @@ func main() {
 	engineKind, err := passivespread.ParseEngine(*engine)
 	if err != nil {
 		fatalf("unknown engine %q", *engine)
+	}
+
+	topoKind, err := passivespread.ParseTopology(*topology)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if passivespread.TopologyName(topoKind) == "complete" {
+		topoKind = nil // the default: no topology layer in the config
 	}
 
 	init, err := parseInit(*initName, correctBit)
@@ -72,6 +88,9 @@ func main() {
 		// only, opinion-symmetric, deterministic-fraction starts.
 		if *protocol != "fet" {
 			fatalf("-engine chain supports only -protocol fet")
+		}
+		if topoKind != nil {
+			fatalf("-engine chain is exact only under uniform mixing; -topology %s needs an agent engine", *topology)
 		}
 		study, err = passivespread.NewStudy(passivespread.StudySpec{
 			Replicates: *replicates,
@@ -102,6 +121,7 @@ func main() {
 			MaxRounds:        *rounds,
 			Engine:           engineKind,
 			Parallelism:      *workers,
+			Topology:         topoKind,
 			CorruptStates:    true,
 			RecordTrajectory: *traj,
 		}
@@ -122,6 +142,11 @@ func main() {
 	fmt.Printf("population %d (%d source(s), correct opinion %d)\n", *n, *sources, correctBit)
 	fmt.Printf("init       %s\n", initLabel)
 	fmt.Printf("engine     %s, seed %d\n", passivespread.EngineName(engineKind), *seed)
+	if topoKind != nil {
+		// Printed only off the uniform-mixing default, so existing
+		// complete-topology invocations stay byte-identical.
+		fmt.Printf("topology   %s\n", passivespread.TopologyName(topoKind))
+	}
 
 	report, err := study.Run(context.Background())
 	if err != nil {

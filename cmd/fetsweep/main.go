@@ -1,9 +1,9 @@
 // Command fetsweep runs parameter-grid sweeps over the FET simulation —
 // the phase-diagram tool. It is a thin CLI over the root Sweep API: the
-// cross-product of -ns × -ells × -engines × -scenarios expands into grid
-// cells, every cell runs -trials replicates, and all cells × replicates
-// draw from one shared worker pool. Results are bit-identical for any
-// -workers value on a fixed -seed.
+// cross-product of -ns × -ells × -engines × -topologies × -scenarios
+// expands into grid cells, every cell runs -trials replicates, and all
+// cells × replicates draw from one shared worker pool. Results are
+// bit-identical for any -workers value on a fixed -seed.
 //
 // Usage:
 //
@@ -11,6 +11,12 @@
 //	fetsweep -scenarios worst-case,noisy,trend-flip -format csv > phase.csv
 //	fetsweep -ns 4096 -ells 1,2,4,8,16,24 -format json
 //	fetsweep -ns 1048576,16777216 -engines aggregate,chain
+//	fetsweep -ns 1024,4096 -topologies complete,random-regular:8,small-world:4:0.1
+//
+// -topologies selects the observation topologies (default complete, the
+// paper's uniform mixing); non-complete entries run on the agent
+// engines only and answer "does FET's trend-following survive sparse
+// structure?" as a sweepable axis.
 //
 // -engines selects the executors: fast (sequential agent engine),
 // parallel (sharded agent engine), aggregate (occupancy-vector engine),
@@ -38,17 +44,18 @@ import (
 
 func main() {
 	var (
-		nsFlag    = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
-		ellsFlag  = flag.String("ells", "", "comma-separated per-half sample sizes (0 or empty = ⌈c·log₂ n⌉)")
-		engines   = flag.String("engines", "fast", "comma-separated engines: fast, exact, parallel, aggregate, chain")
-		scenarios = flag.String("scenarios", passivespread.DefaultScenario, "comma-separated scenario names (see `fetlab -scenarios`)")
-		trials    = flag.Int("trials", 40, "replicates per grid cell")
-		workers   = flag.Int("workers", 0, "shared worker pool for the whole grid (0 = GOMAXPROCS)")
-		rounds    = flag.Int("rounds", 0, "round cap per cell (0 = 400·log₂ n)")
-		seed      = flag.Uint64("seed", 42, "root random seed")
-		c         = flag.Float64("c", passivespread.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
-		format    = flag.String("format", "table", "output format: table, csv or json")
-		chain     = flag.Bool("chain", false, "alias for -engines chain")
+		nsFlag     = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
+		ellsFlag   = flag.String("ells", "", "comma-separated per-half sample sizes (0 or empty = ⌈c·log₂ n⌉)")
+		engines    = flag.String("engines", "fast", "comma-separated engines: fast, exact, parallel, aggregate, chain")
+		topologies = flag.String("topologies", "complete", "comma-separated observation topologies: complete, ring[:k], torus, random-regular[:k], small-world[:k[:beta]], dynamic[:k[:p]]")
+		scenarios  = flag.String("scenarios", passivespread.DefaultScenario, "comma-separated scenario names (see `fetlab -scenarios`)")
+		trials     = flag.Int("trials", 40, "replicates per grid cell")
+		workers    = flag.Int("workers", 0, "shared worker pool for the whole grid (0 = GOMAXPROCS)")
+		rounds     = flag.Int("rounds", 0, "round cap per cell (0 = 400·log₂ n)")
+		seed       = flag.Uint64("seed", 42, "root random seed")
+		c          = flag.Float64("c", passivespread.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
+		format     = flag.String("format", "table", "output format: table, csv or json")
+		chain      = flag.Bool("chain", false, "alias for -engines chain")
 	)
 	flag.Parse()
 
@@ -73,6 +80,10 @@ func main() {
 	if err != nil {
 		fatalf(2, "%v", err)
 	}
+	topologyList, err := parseTopologies(*topologies)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
 	scenarioList, err := parseScenarios(*scenarios)
 	if err != nil {
 		fatalf(2, "%v", err)
@@ -88,6 +99,7 @@ func main() {
 		Ells:       ells,
 		C:          *c,
 		Engines:    engineKinds,
+		Topologies: topologyList,
 		Scenarios:  scenarioList,
 		Replicates: *trials,
 		Workers:    *workers,
@@ -121,24 +133,24 @@ func main() {
 
 func printTable(report *passivespread.SweepReport, ns []int) {
 	fmt.Printf("FET parameter sweep: %d cells × %d replicates\n\n", report.Cells, report.Replicates)
-	tab := passivespread.NewTable("scenario", "engine", "n", "ℓ", "trials", "converged", "mean", "median", "p95", "max")
+	tab := passivespread.NewTable("scenario", "engine", "topology", "n", "ℓ", "trials", "converged", "mean", "median", "p95", "max")
 	for _, row := range report.Rows {
-		tab.AddRow(row.Scenario, row.Engine, row.N, row.Ell, row.Replicates,
+		tab.AddRow(row.Scenario, row.Engine, row.Topology, row.N, row.Ell, row.Replicates,
 			fmt.Sprintf("%d/%d", row.Converged, row.Replicates),
 			row.Mean, row.Median, row.P95, row.Max)
 	}
 	fmt.Print(tab.String())
 
-	// Polylog fits per (scenario, engine) group spanning ≥ 2 population
-	// sizes: the Theorem 1 shape check, t_con ≈ a·(ln n)^b.
+	// Polylog fits per (scenario, engine, topology) group spanning ≥ 2
+	// population sizes: the Theorem 1 shape check, t_con ≈ a·(ln n)^b.
 	if len(ns) < 2 {
 		return
 	}
-	type group struct{ scenario, engine string }
+	type group struct{ scenario, engine, topology string }
 	medians := map[group]map[int]float64{}
 	var order []group
 	for _, row := range report.Rows {
-		g := group{row.Scenario, row.Engine}
+		g := group{row.Scenario, row.Engine, row.Topology}
 		if medians[g] == nil {
 			medians[g] = map[int]float64{}
 			order = append(order, g)
@@ -162,8 +174,8 @@ func printTable(report *passivespread.SweepReport, ns []int) {
 			}
 		}
 		fit := passivespread.FitPolylog(fitNs, times)
-		fmt.Printf("polylog fit [%s/%s]: t_con ≈ %.2f·(ln n)^%.2f (R² = %.3f); paper bound exponent 5/2\n",
-			g.scenario, g.engine, fit.Coefficient, fit.Exponent, fit.R2)
+		fmt.Printf("polylog fit [%s/%s/%s]: t_con ≈ %.2f·(ln n)^%.2f (R² = %.3f); paper bound exponent 5/2\n",
+			g.scenario, g.engine, g.topology, fit.Coefficient, fit.Exponent, fit.R2)
 	}
 }
 
@@ -228,6 +240,32 @@ func parseEngines(s string) ([]passivespread.EngineKind, error) {
 		}
 		seen[kind] = true
 		out = append(out, kind)
+	}
+	return out, nil
+}
+
+// parseTopologies parses the topology axis strictly: every entry must be
+// a well-formed topology spec (passivespread.ParseTopology grammar) and
+// distinct by canonical name. Empty or duplicate entries are rejected.
+func parseTopologies(s string) ([]passivespread.Topology, error) {
+	parts := strings.Split(s, ",")
+	seen := make(map[string]bool, len(parts))
+	out := make([]passivespread.Topology, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-topologies: empty entry in %q", s)
+		}
+		tp, err := passivespread.ParseTopology(p)
+		if err != nil {
+			return nil, fmt.Errorf("-topologies: %v", err)
+		}
+		name := passivespread.TopologyName(tp)
+		if seen[name] {
+			return nil, fmt.Errorf("-topologies: duplicate topology %q", name)
+		}
+		seen[name] = true
+		out = append(out, tp)
 	}
 	return out, nil
 }

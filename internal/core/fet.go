@@ -12,12 +12,21 @@
 //	else if count′_t < count′′_{t−1} then Y_{t+1} ← 0
 //	else Y_{t+1} ← Y_t;
 //
-// Because the 2ℓ PULL samples are i.i.d. uniform with replacement, a
-// uniformly random equal split yields two independent ℓ-sample halves, so
-// the implementation simply draws two independent ℓ-agent observations.
+// Because the 2ℓ PULL samples are i.i.d. with replacement, a uniformly
+// random equal split yields two independent ℓ-sample halves, so the
+// implementation simply draws two independent ℓ-agent observations.
 //
-// Theorem 1: FET converges in O(log^{5/2} n) rounds w.h.p. with
-// ℓ = O(log n) samples per half and O(log ℓ) bits of memory per agent.
+// The protocols never draw population indices themselves: all sampling
+// goes through the sim.Observation seam, whose law is the engine's
+// per-agent neighbor sampler (internal/topo). Under the default Complete
+// topology that is the paper's uniform mixing; on a graph topology the
+// same update rules run against each agent's out-neighbor row, which is
+// what makes "does FET survive on a k-regular or small-world graph?" a
+// configuration rather than a new protocol.
+//
+// Theorem 1 (stated for uniform mixing): FET converges in O(log^{5/2} n)
+// rounds w.h.p. with ℓ = O(log n) samples per half and O(log ℓ) bits of
+// memory per agent.
 package core
 
 import (

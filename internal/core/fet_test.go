@@ -2,11 +2,13 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"passivespread/internal/adversary"
 	"passivespread/internal/rng"
 	"passivespread/internal/sim"
+	"passivespread/internal/topo"
 )
 
 func TestSampleSize(t *testing.T) {
@@ -360,5 +362,41 @@ func TestSimpleTrendAlsoConverges(t *testing.T) {
 	}
 	if !res.Converged {
 		t.Fatal("SimpleTrend did not converge")
+	}
+}
+
+// TestFETThroughGraphTopology: FET's update rule must run unmodified
+// against the topology layer's neighbor sampler — on a reasonably dense
+// random k-out observation graph the worst-case dissemination still
+// succeeds, and the run is deterministic per seed.
+func TestFETThroughGraphTopology(t *testing.T) {
+	n := 1024
+	run := func(seed uint64) sim.Result {
+		res, err := sim.Run(sim.Config{
+			N:             n,
+			Protocol:      NewFET(SampleSize(n, DefaultC)),
+			Init:          adversary.AllWrong{Correct: sim.OpinionOne},
+			Topology:      topo.RandomRegular(16),
+			CorruptStates: true,
+			Seed:          seed,
+			MaxRounds:     400 * 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	converged := 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		a, b := run(seed), run(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: FET on random-regular:16 is not deterministic", seed)
+		}
+		if a.Converged {
+			converged++
+		}
+	}
+	if converged < 3 {
+		t.Fatalf("FET converged in only %d/5 seeds on random-regular:16 at n=%d", converged, n)
 	}
 }

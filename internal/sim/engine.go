@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"passivespread/internal/rng"
+	"passivespread/internal/topo"
 )
 
 // Config describes one simulation run.
@@ -59,6 +60,13 @@ type Config struct {
 	// (reported as StoppedEarly, not converged unless already absorbed);
 	// any other error aborts the run.
 	Observers []Observer
+	// Topology selects the observation topology: who each agent can
+	// observe (nil = topo.Complete(), the paper's uniform mixing). On a
+	// non-complete topology every agent engine samples neighbor opinions
+	// literally through the graph (the tabulated-binomial fast path is a
+	// uniform-mixing identity), and EngineAggregate is rejected — the
+	// occupancy update law is exact only under uniform mixing.
+	Topology topo.Topology
 	// NoiseEps, when positive, flips every observed opinion bit
 	// independently with probability NoiseEps before the agent sees it —
 	// the noisy-communication model of Feinerman et al. (2017) and
@@ -126,6 +134,15 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.NoiseEps < 0 || cfg.NoiseEps >= 0.5 {
 		return cfg, fmt.Errorf("sim: NoiseEps = %v, want in [0, 1/2)", cfg.NoiseEps)
+	}
+	if !topo.IsComplete(cfg.Topology) {
+		if err := cfg.Topology.Validate(cfg.N); err != nil {
+			return cfg, fmt.Errorf("sim: %v", err)
+		}
+		if cfg.Engine == EngineAggregate {
+			return cfg, fmt.Errorf("sim: engine %v is exact only under uniform mixing; topology %q needs an agent engine",
+				cfg.Engine, cfg.Topology.Name())
+		}
 	}
 	if cfg.FlipCorrectAt < 0 {
 		return cfg, fmt.Errorf("sim: FlipCorrectAt = %d, want ≥ 0", cfg.FlipCorrectAt)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"passivespread/internal/rng"
+	"passivespread/internal/topo"
 )
 
 // roundExecutor is the pluggable execution layer under Run: it owns the
@@ -59,23 +60,44 @@ type agentExecutor struct {
 	// observer per shard avoids a heap allocation per agent per round
 	// without sharing mutable state across goroutines.
 	observers []reusableObserver
+	// graph is the built observation graph for non-complete topologies
+	// (nil under uniform mixing, which keeps the pre-topology fast paths
+	// byte-identical).
+	graph *topo.Graph
+	// round counts executed rounds; dynamic topologies derive their
+	// per-round rewiring streams from it.
+	round int
 }
+
+// topoStream is the offset added to the population size to derive the
+// topology-construction stream: streams 0 (initializer) and 1..n (agents)
+// are taken, so the graph builds from StreamSeed(seed, n+topoStream).
+// Complete-topology runs never draw from it — their RNG consumption is
+// unchanged from the pre-topology layout.
+const topoStream = 1
 
 // reusableObserver is an Observation that can be re-aimed at a new agent's
 // RNG stream between Step calls, so one allocation serves a whole shard.
 type reusableObserver interface {
 	Observation
 	// bind prepares the observer for one agent and the current round.
-	bind(src *rng.Source)
+	bind(agent int, src *rng.Source)
 	// newRound installs the current round's observation law.
-	newRound(x float64, tables []roundTable)
+	newRound(round int, x float64, tables []roundTable)
 }
 
-func (o *exactObserver) bind(src *rng.Source)           { o.src = src }
-func (o *exactObserver) newRound(float64, []roundTable) {}
+// opinionReader is implemented by observers that read the live opinion
+// array and must be re-aimed after the round's double-buffer swap.
+type opinionReader interface {
+	retarget(opinions []byte)
+}
 
-func (o *fastObserver) bind(src *rng.Source) { o.src = src }
-func (o *fastObserver) newRound(x float64, tables []roundTable) {
+func (o *exactObserver) bind(_ int, src *rng.Source)         { o.src = src }
+func (o *exactObserver) newRound(int, float64, []roundTable) {}
+func (o *exactObserver) retarget(opinions []byte)            { o.opinions = opinions }
+
+func (o *fastObserver) bind(_ int, src *rng.Source) { o.src = src }
+func (o *fastObserver) newRound(_ int, x float64, tables []roundTable) {
 	o.x = x
 	o.tables = tables
 }
@@ -134,11 +156,27 @@ func newAgentExecutor(c *Config) (*agentExecutor, error) {
 			e.workers = 1
 		}
 	}
+	if !topo.IsComplete(c.Topology) {
+		// The graph builds from its own derived stream (never touched by
+		// complete-topology runs) and shards row construction across the
+		// same worker budget as the round sweep; per-row streams keep the
+		// result byte-identical at any worker count.
+		graph, err := c.Topology.Build(n, rng.StreamSeed(c.Seed, uint64(n)+topoStream), e.workers)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building topology %q: %w", c.Topology.Name(), err)
+		}
+		e.graph = graph
+	}
 	e.observers = make([]reusableObserver, e.workers)
 	for w := range e.observers {
-		if c.Engine == EngineAgentExact {
+		switch {
+		case e.graph != nil:
+			// Non-complete topology: every agent engine samples neighbor
+			// opinions literally; fast and exact coincide here.
+			e.observers[w] = &graphObserver{opinions: e.opinions, view: e.graph.NewView(), noiseEps: c.NoiseEps}
+		case c.Engine == EngineAgentExact:
 			e.observers[w] = &exactObserver{opinions: e.opinions, noiseEps: c.NoiseEps}
-		} else {
+		default:
 			e.observers[w] = &fastObserver{}
 		}
 	}
@@ -174,11 +212,13 @@ func (e *agentExecutor) Step(correct byte) error {
 	x := float64(e.ones) / float64(n)
 	xObs := observedFraction(x, c.NoiseEps)
 	var tables []roundTable
-	if c.Engine != EngineAgentExact {
+	if c.Engine != EngineAgentExact && e.graph == nil {
+		// The tabulated binomial law is a uniform-mixing identity; graph
+		// topologies sample neighbor opinions literally instead.
 		tables = buildRoundTables(e.sampleSizes, xObs)
 	}
 	for _, obs := range e.observers {
-		obs.newRound(xObs, tables)
+		obs.newRound(e.round, xObs, tables)
 	}
 
 	var onesDelta int
@@ -197,11 +237,12 @@ func (e *agentExecutor) Step(correct byte) error {
 
 	e.opinions, e.next = e.next, e.opinions
 	e.ones += onesDelta
-	if c.Engine == EngineAgentExact {
-		// The swap moved the live population into the other backing array;
-		// re-aim the literal samplers at it.
-		for _, o := range e.observers {
-			o.(*exactObserver).opinions = e.opinions
+	e.round++
+	// The swap moved the live population into the other backing array;
+	// re-aim the literal samplers (exact and graph observers) at it.
+	for _, o := range e.observers {
+		if r, ok := o.(opinionReader); ok {
+			r.retarget(e.opinions)
 		}
 	}
 	return nil
@@ -214,7 +255,7 @@ func (e *agentExecutor) Step(correct byte) error {
 // engine's bit-identical determinism.
 func (e *agentExecutor) stepShard(lo, hi int, obs reusableObserver) (onesDelta int, err error) {
 	for i := lo; i < hi; i++ {
-		obs.bind(e.srcs[i])
+		obs.bind(i, e.srcs[i])
 		out := e.agents[i].Step(e.opinions[i], obs)
 		if out > 1 {
 			return 0, fmt.Errorf("sim: protocol %q produced opinion %d", e.cfg.Protocol.Name(), out)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"passivespread/internal/rng"
+	"passivespread/internal/topo"
 )
 
 // exactObserver implements Observation by sampling agent indices uniformly
@@ -74,6 +75,49 @@ func (o *fastObserver) Sample() byte {
 		return OpinionOne
 	}
 	return OpinionZero
+}
+
+// graphObserver implements Observation on a non-complete topology: it
+// draws uniform (with replacement) out-neighbors of the bound agent
+// through a per-worker topo.View and reads their current opinions — the
+// operational PULL definition restricted to the observation graph. The
+// binomial shortcut of fastObserver is a uniform-mixing identity and
+// does not apply here, so every agent engine shares this literal path on
+// sparse topologies; the agent's own RNG stream drives the draws, which
+// is what keeps the sharded parallel sweep bit-identical to the
+// sequential one.
+type graphObserver struct {
+	opinions []byte
+	view     *topo.View
+	src      *rng.Source
+	noiseEps float64
+}
+
+func (o *graphObserver) bind(agent int, src *rng.Source) {
+	o.src = src
+	o.view.Bind(agent)
+}
+
+func (o *graphObserver) newRound(round int, _ float64, _ []roundTable) {
+	o.view.NewRound(round)
+}
+
+func (o *graphObserver) retarget(opinions []byte) { o.opinions = opinions }
+
+func (o *graphObserver) CountOnes(m int) int {
+	count := 0
+	for i := 0; i < m; i++ {
+		count += int(o.Sample())
+	}
+	return count
+}
+
+func (o *graphObserver) Sample() byte {
+	b := o.opinions[o.view.Next(o.src)]
+	if o.noiseEps > 0 && o.src.Bernoulli(o.noiseEps) {
+		return 1 - b
+	}
+	return b
 }
 
 // buildRoundTables tabulates the binomial laws for the protocol's declared

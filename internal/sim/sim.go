@@ -3,12 +3,17 @@
 // the paper.
 //
 // A population of n agents holds binary opinions. In every round each
-// non-source agent observes the opinions of uniformly random agents (with
+// non-source agent observes the opinions of random agents (with
 // replacement) and applies its protocol's update rule; source agents hold
-// the correct opinion forever. Because communication is passive, an
-// observation of m agents carries no information beyond the number of
-// 1-opinions among them — which is exactly a Binomial(m, x_t) variate,
-// where x_t is the current fraction of 1-opinions.
+// the correct opinion forever. Who an agent may observe is decided by the
+// observation-topology layer (internal/topo, Config.Topology): under the
+// default Complete topology — the paper's uniform mixing — observations
+// are uniform over the whole population, and because communication is
+// passive an observation of m agents then carries no information beyond
+// the number of 1-opinions among them, exactly a Binomial(m, x_t)
+// variate for the current 1-fraction x_t. Non-complete topologies
+// restrict each agent's draws to its out-neighbor row in the built
+// observation graph, sampled uniformly with replacement.
 //
 // The package is layered (see DESIGN.md §1): a protocol-independent
 // orchestrator owns the round loop and bookkeeping, and advances the
@@ -43,13 +48,16 @@ const (
 
 // Observation gives an agent access to its random observations for the
 // current round. Under passive communication the only extractable
-// information is opinion bits of uniformly sampled agents.
+// information is opinion bits of sampled agents. The sampling law is the
+// engine's per-agent neighbor sampler: uniform over the whole population
+// under the Complete topology, uniform over the agent's out-neighbor row
+// on a graph topology — protocols (FET, SimpleTrend, the baselines) are
+// written against this seam and never draw population indices directly.
 type Observation interface {
-	// CountOnes observes m uniformly random agents (with replacement) and
-	// returns how many of them currently hold opinion 1.
+	// CountOnes observes m random agents (with replacement, per the
+	// configured topology) and returns how many currently hold opinion 1.
 	CountOnes(m int) int
-	// Sample observes a single uniformly random agent and returns its
-	// opinion.
+	// Sample observes a single random agent and returns its opinion.
 	Sample() byte
 }
 

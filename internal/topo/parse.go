@@ -1,0 +1,150 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse returns the topology named by a CLI-style spec. The grammar is
+// name[:param[:param]] with strict validation (malformed specs error,
+// never default silently):
+//
+//	complete
+//	ring[:k]                 (default k = 2; out-degree 2k)
+//	torus                    (perfect-square n, out-degree 4)
+//	random-regular[:k]       (default k = 8; random k-out digraph)
+//	small-world[:k[:beta]]   (defaults k = 4, beta = 0.1; Watts–Strogatz)
+//	dynamic[:k[:p]]          (defaults k = 8, p = 0.1; per-round rewiring)
+//
+// Parse(t.Name()) reconstructs t, so topology names round-trip through
+// sweep CSV/JSON artifacts.
+func Parse(spec string) (Topology, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	name := parts[0]
+	args := parts[1:]
+	for _, a := range args {
+		if strings.TrimSpace(a) == "" {
+			return nil, fmt.Errorf("topo: empty parameter in %q", spec)
+		}
+	}
+	argInt := func(idx, dflt int) (int, error) {
+		if idx >= len(args) {
+			return dflt, nil
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(args[idx]))
+		if err != nil {
+			return 0, fmt.Errorf("topo: bad integer parameter %q in %q", args[idx], spec)
+		}
+		return v, nil
+	}
+	argFloat := func(idx int, dflt float64) (float64, error) {
+		if idx >= len(args) {
+			return dflt, nil
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(args[idx]), 64)
+		if err != nil {
+			return 0, fmt.Errorf("topo: bad float parameter %q in %q", args[idx], spec)
+		}
+		return v, nil
+	}
+	arity := func(max int) error {
+		if len(args) > max {
+			return fmt.Errorf("topo: %q takes at most %d parameter(s), got %d", name, max, len(args))
+		}
+		return nil
+	}
+
+	switch name {
+	case "complete":
+		if err := arity(0); err != nil {
+			return nil, err
+		}
+		return Complete(), nil
+	case "ring":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		k, err := argInt(0, DefaultRingK)
+		if err != nil {
+			return nil, err
+		}
+		return checkParams(Ring(k))
+	case "torus":
+		if err := arity(0); err != nil {
+			return nil, err
+		}
+		return Torus(), nil
+	case "random-regular":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		k, err := argInt(0, DefaultRegularK)
+		if err != nil {
+			return nil, err
+		}
+		return checkParams(RandomRegular(k))
+	case "small-world":
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		k, err := argInt(0, DefaultSmallWorldK)
+		if err != nil {
+			return nil, err
+		}
+		beta, err := argFloat(1, DefaultBeta)
+		if err != nil {
+			return nil, err
+		}
+		return checkParams(SmallWorld(k, beta))
+	case "dynamic":
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		k, err := argInt(0, DefaultRewireK)
+		if err != nil {
+			return nil, err
+		}
+		p, err := argFloat(1, DefaultRewireP)
+		if err != nil {
+			return nil, err
+		}
+		return checkParams(DynamicRewire(k, p))
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q (want complete, ring, torus, random-regular, small-world or dynamic)", name)
+	}
+}
+
+// Spec describes one topology family for listings: the parseable spec
+// grammar and a one-line summary. The single source of truth for CLI
+// help (fetlab -topologies); defaults interpolate the Default*
+// constants so the listing cannot drift from Parse.
+type Spec struct {
+	Spec        string
+	Description string
+}
+
+// Specs returns the built-in topology families in listing order.
+func Specs() []Spec {
+	return []Spec{
+		{"complete", "uniform mixing over the whole population (the paper's model; default)"},
+		{"ring[:k]", fmt.Sprintf("cycle, k nearest neighbors per side (out-degree 2k; default k = %d)", DefaultRingK)},
+		{"torus", "√n × √n wraparound grid, 4-neighbor observation (perfect-square n)"},
+		{"random-regular[:k]", fmt.Sprintf("random k-out digraph: k fixed uniform targets per agent (default k = %d)", DefaultRegularK)},
+		{"small-world[:k[:beta]]", fmt.Sprintf("Watts–Strogatz: ring:k base, out-edges rewired w.p. beta (defaults %d, %g)", DefaultSmallWorldK, DefaultBeta)},
+		{"dynamic[:k[:p]]", fmt.Sprintf("random k-out, each agent's row resampled w.p. p per round (defaults %d, %g)", DefaultRewireK, DefaultRewireP)},
+	}
+}
+
+// checkParams rejects parameters that no population size could accept
+// (grid-independent validation; the n-dependent part runs at Build).
+// Validating against the largest admissible graph population (a
+// perfect square, so the torus also passes) isolates exactly the
+// parameter-range checks.
+func checkParams(t Topology) (Topology, error) {
+	const hugeN = 1 << 30 // (2^15)^2, within MaxGraphN
+	if err := t.Validate(hugeN); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

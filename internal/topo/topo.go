@@ -1,0 +1,473 @@
+// Package topo is the observation-topology layer of the simulator: it
+// decides *who* each agent can observe in a round, separately from *how*
+// the engines execute rounds.
+//
+// The paper analyzes FET under uniform mixing — every agent's ℓ-sample
+// observation is drawn uniformly from the whole population — and that
+// assumption is the Complete topology, the default everywhere. The other
+// topologies restrict each agent's observations to a fixed (or per-round
+// rewired) out-neighbor set, turning "does FET's self-stabilizing
+// trend-following survive structure?" into a runnable experiment: sparse
+// random digraphs, rings, tori, Watts–Strogatz small worlds, and
+// dynamically rewired graphs.
+//
+// # Determinism contract
+//
+// Everything derives from the repository's single SplitMix64 stream rule
+// (internal/rng): agent i's out-neighbor row is built from stream
+// StreamSeed(topoSeed, i), so graph construction can be sharded across
+// any number of goroutines and still produce byte-identical adjacency.
+// DynamicRewire's per-round resampling derives from
+// (topoSeed, round, agent) alone — never from scheduling — which is what
+// keeps the parallel engine bit-identical to the sequential one on every
+// topology at every worker count.
+//
+// Observation direction follows the PULL model: an edge i→j means agent
+// i may observe agent j's opinion. All graph topologies here are
+// out-regular (every agent has exactly Degree() observable neighbors);
+// in-degrees vary by construction. Sampling within a round is uniform
+// with replacement over the bound agent's row, the sparse analogue of
+// the paper's uniform mixing.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"passivespread/internal/rng"
+)
+
+// Topology describes an observation structure over a population. A nil
+// Topology everywhere means Complete (uniform mixing, the paper's model).
+type Topology interface {
+	// Name returns the canonical, parseable identity of the topology
+	// (Parse(Name()) reconstructs it): "complete", "ring:2", "torus",
+	// "random-regular:8", "small-world:4:0.1", "dynamic:8:0.1".
+	Name() string
+	// Complete reports uniform mixing. Engines keep their tabulated
+	// binomial fast paths exactly when this is true.
+	Complete() bool
+	// Validate reports whether the topology can be built over n agents.
+	Validate(n int) error
+	// Build constructs the observation graph for n agents, deterministically
+	// from seed, sharding row construction across up to workers goroutines
+	// (0 = sequential). Complete topologies return (nil, nil): no graph.
+	Build(n int, seed uint64, workers int) (*Graph, error)
+}
+
+// IsComplete reports whether t is uniform mixing (nil counts as Complete).
+func IsComplete(t Topology) bool { return t == nil || t.Complete() }
+
+// MaxGraphN is the largest population a graph topology accepts: the
+// adjacency stores agent indices as int32, so larger populations must
+// fail Validate instead of silently wrapping. (Complete has no graph
+// and is unbounded; agent engines are memory-bound long before this.)
+const MaxGraphN = math.MaxInt32
+
+// checkGraphN bounds a graph topology's population against the int32
+// adjacency representation.
+func checkGraphN(n int) error {
+	if n > MaxGraphN {
+		return fmt.Errorf("topo: population %d exceeds the graph limit %d (int32 adjacency); use the complete topology", n, MaxGraphN)
+	}
+	return nil
+}
+
+// DisplayName returns t's canonical name, mapping nil to "complete".
+func DisplayName(t Topology) string {
+	if t == nil {
+		return "complete"
+	}
+	return t.Name()
+}
+
+// Default degree/parameter values used by Parse when a parameter is
+// omitted (e.g. "ring" ≡ "ring:2").
+const (
+	DefaultRingK       = 2
+	DefaultRegularK    = 8
+	DefaultSmallWorldK = 4
+	DefaultBeta        = 0.1
+	DefaultRewireK     = 8
+	DefaultRewireP     = 0.1
+)
+
+// complete is the uniform-mixing topology.
+type complete struct{}
+
+// Complete returns the uniform-mixing topology: every agent observes the
+// whole population, exactly the paper's model. It is the default.
+func Complete() Topology { return complete{} }
+
+func (complete) Name() string                           { return "complete" }
+func (complete) Complete() bool                         { return true }
+func (complete) Validate(int) error                     { return nil }
+func (complete) Build(int, uint64, int) (*Graph, error) { return nil, nil }
+
+// ring is the k-nearest-neighbor cycle.
+type ring struct{ k int }
+
+// Ring returns the cycle topology where agent i observes its k nearest
+// neighbors on each side (out-degree 2k). Construction is deterministic
+// and draws no randomness.
+func Ring(k int) Topology { return ring{k: k} }
+
+func (r ring) Name() string   { return fmt.Sprintf("ring:%d", r.k) }
+func (r ring) Complete() bool { return false }
+
+func (r ring) Validate(n int) error {
+	if err := checkGraphN(n); err != nil {
+		return err
+	}
+	if r.k < 1 {
+		return fmt.Errorf("topo: ring k = %d, want ≥ 1", r.k)
+	}
+	// Division form: 2k overflows for adversarially huge k.
+	if r.k > (n-1)/2 {
+		return fmt.Errorf("topo: ring k = %d needs 2k ≤ n−1, got n = %d", r.k, n)
+	}
+	return nil
+}
+
+func (r ring) Build(n int, seed uint64, workers int) (*Graph, error) {
+	if err := r.Validate(n); err != nil {
+		return nil, err
+	}
+	return buildRows(n, 2*r.k, seed, workers, func(i int, _ *rng.Source, row []int32) {
+		fillRingRow(i, n, r.k, row)
+	}, nil), nil
+}
+
+// fillRingRow writes agent i's ring neighbors: offsets ±1..±k.
+func fillRingRow(i, n, k int, row []int32) {
+	for d := 1; d <= k; d++ {
+		row[2*(d-1)] = int32((i + d) % n)
+		row[2*(d-1)+1] = int32((i - d + n) % n)
+	}
+}
+
+// torus is the 2-D wraparound grid with the von Neumann neighborhood.
+type torus struct{}
+
+// Torus returns the √n × √n wraparound grid: agent i observes its four
+// lattice neighbors (up, down, left, right). Requires n to be a perfect
+// square with side ≥ 3. Construction draws no randomness.
+func Torus() Topology { return torus{} }
+
+func (torus) Name() string   { return "torus" }
+func (torus) Complete() bool { return false }
+
+func (torus) Validate(n int) error {
+	if err := checkGraphN(n); err != nil {
+		return err
+	}
+	s := isqrt(n)
+	if s*s != n {
+		return fmt.Errorf("topo: torus needs a perfect-square population, got n = %d", n)
+	}
+	if s < 3 {
+		return fmt.Errorf("topo: torus side = %d, want ≥ 3 (distinct lattice neighbors)", s)
+	}
+	return nil
+}
+
+func (t torus) Build(n int, seed uint64, workers int) (*Graph, error) {
+	if err := t.Validate(n); err != nil {
+		return nil, err
+	}
+	s := isqrt(n)
+	return buildRows(n, 4, seed, workers, func(i int, _ *rng.Source, row []int32) {
+		r, c := i/s, i%s
+		row[0] = int32(((r+1)%s)*s + c)   // down
+		row[1] = int32(((r-1+s)%s)*s + c) // up
+		row[2] = int32(r*s + (c+1)%s)     // right
+		row[3] = int32(r*s + (c-1+s)%s)   // left
+	}, nil), nil
+}
+
+func isqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	s := int(math.Sqrt(float64(n)))
+	for s*s > n {
+		s--
+	}
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// randomRegular is the random k-out digraph.
+type randomRegular struct{ k int }
+
+// RandomRegular returns the random k-out observation digraph: every
+// agent observes a fixed set of k distinct uniformly random other agents
+// (out-degree exactly k; in-degrees are Binomial). Agent i's row derives
+// from stream StreamSeed(seed, i) alone, so construction parallelizes
+// deterministically.
+func RandomRegular(k int) Topology { return randomRegular{k: k} }
+
+func (r randomRegular) Name() string   { return fmt.Sprintf("random-regular:%d", r.k) }
+func (r randomRegular) Complete() bool { return false }
+
+func (r randomRegular) Validate(n int) error {
+	if err := checkGraphN(n); err != nil {
+		return err
+	}
+	if r.k < 1 {
+		return fmt.Errorf("topo: random-regular k = %d, want ≥ 1", r.k)
+	}
+	if r.k > n-1 {
+		return fmt.Errorf("topo: random-regular k = %d needs k ≤ n−1, got n = %d", r.k, n)
+	}
+	return nil
+}
+
+func (r randomRegular) Build(n int, seed uint64, workers int) (*Graph, error) {
+	if err := r.Validate(n); err != nil {
+		return nil, err
+	}
+	return buildRows(n, r.k, seed, workers, func(i int, src *rng.Source, row []int32) {
+		fillKOutRowN(i, n, src, row)
+	}, nil), nil
+}
+
+// fillKOutRowN samples len(row) distinct non-self agent indices in [0, n)
+// from src, by rejection of self and duplicates; rows are short
+// (k = O(log n) in practice), so the duplicate scan is cheap.
+func fillKOutRowN(i, n int, src *rng.Source, row []int32) {
+	for j := range row {
+	draw:
+		for {
+			v := int32(src.Intn(n))
+			if int(v) == i {
+				continue
+			}
+			for _, prev := range row[:j] {
+				if prev == v {
+					continue draw
+				}
+			}
+			row[j] = v
+			break
+		}
+	}
+}
+
+// smallWorld is the Watts–Strogatz construction.
+type smallWorld struct {
+	k    int
+	beta float64
+}
+
+// SmallWorld returns the Watts–Strogatz small-world topology: the Ring(k)
+// base (out-degree 2k), with every out-edge independently rewired to a
+// uniformly random non-duplicate target with probability beta. beta = 0
+// is exactly Ring(k); beta = 1 approaches a random 2k-out digraph. Agent
+// i's row derives from stream StreamSeed(seed, i) alone.
+func SmallWorld(k int, beta float64) Topology { return smallWorld{k: k, beta: beta} }
+
+func (s smallWorld) Name() string {
+	return fmt.Sprintf("small-world:%d:%s", s.k, strconv.FormatFloat(s.beta, 'g', -1, 64))
+}
+func (s smallWorld) Complete() bool { return false }
+
+func (s smallWorld) Validate(n int) error {
+	if err := checkGraphN(n); err != nil {
+		return err
+	}
+	if s.k < 1 {
+		return fmt.Errorf("topo: small-world k = %d, want ≥ 1", s.k)
+	}
+	// Division form: 2k overflows for adversarially huge k.
+	if s.k > (n-1)/2 {
+		return fmt.Errorf("topo: small-world k = %d needs 2k ≤ n−1, got n = %d", s.k, n)
+	}
+	if s.beta < 0 || s.beta > 1 || math.IsNaN(s.beta) {
+		return fmt.Errorf("topo: small-world beta = %v, want in [0, 1]", s.beta)
+	}
+	return nil
+}
+
+func (s smallWorld) Build(n int, seed uint64, workers int) (*Graph, error) {
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	return buildRows(n, 2*s.k, seed, workers, func(i int, src *rng.Source, row []int32) {
+		fillRingRow(i, n, s.k, row)
+		for j := range row {
+			if !src.Bernoulli(s.beta) {
+				continue
+			}
+		rewire:
+			for {
+				v := int32(src.Intn(n))
+				if int(v) == i {
+					continue
+				}
+				for jj, prev := range row {
+					if jj != j && prev == v {
+						continue rewire
+					}
+				}
+				row[j] = v
+				break
+			}
+		}
+	}, nil), nil
+}
+
+// dynamicRewire is the per-round resampled k-out digraph.
+type dynamicRewire struct {
+	k int
+	p float64
+}
+
+// DynamicRewire returns the dynamic topology: a random k-out base graph
+// (as RandomRegular(k)) where, independently every round, each agent's
+// out-neighbor row is resampled with probability p. p = 1 redraws the
+// whole graph every round. The round-t row of agent i derives from
+// (seed, t, i) alone, so results stay bit-identical at any parallelism.
+func DynamicRewire(k int, p float64) Topology { return dynamicRewire{k: k, p: p} }
+
+func (d dynamicRewire) Name() string {
+	return fmt.Sprintf("dynamic:%d:%s", d.k, strconv.FormatFloat(d.p, 'g', -1, 64))
+}
+func (d dynamicRewire) Complete() bool { return false }
+
+func (d dynamicRewire) Validate(n int) error {
+	if err := checkGraphN(n); err != nil {
+		return err
+	}
+	if d.k < 1 {
+		return fmt.Errorf("topo: dynamic k = %d, want ≥ 1", d.k)
+	}
+	if d.k > n-1 {
+		return fmt.Errorf("topo: dynamic k = %d needs k ≤ n−1, got n = %d", d.k, n)
+	}
+	if d.p < 0 || d.p > 1 || math.IsNaN(d.p) {
+		return fmt.Errorf("topo: dynamic p = %v, want in [0, 1]", d.p)
+	}
+	return nil
+}
+
+func (d dynamicRewire) Build(n int, seed uint64, workers int) (*Graph, error) {
+	if err := d.Validate(n); err != nil {
+		return nil, err
+	}
+	dd := d
+	return buildRows(n, d.k, seed, workers, func(i int, src *rng.Source, row []int32) {
+		fillKOutRowN(i, n, src, row)
+	}, &dd), nil
+}
+
+// Graph is a built observation graph: a flat out-adjacency array with
+// uniform out-degree, plus the dynamic-rewire rule when the topology
+// resamples rows per round. Graphs are immutable after Build; concurrent
+// readers go through per-worker Views.
+type Graph struct {
+	n, deg int
+	adj    []int32
+	seed   uint64
+	dyn    *dynamicRewire // nil for static topologies
+}
+
+// N returns the population size the graph was built for.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the uniform out-degree.
+func (g *Graph) Degree() int { return g.deg }
+
+// Base returns agent i's static (round-0 base) out-neighbor row. The
+// returned slice aliases the graph; callers must not modify it.
+func (g *Graph) Base(i int) []int32 { return g.adj[i*g.deg : (i+1)*g.deg] }
+
+// Dynamic reports whether rows are resampled per round.
+func (g *Graph) Dynamic() bool { return g.dyn != nil }
+
+// buildRows constructs the flat adjacency, sharding rows across up to
+// workers goroutines. fill writes agent i's row using a Source seeded
+// with StreamSeed(seed, i) — per-row streams are what make the sharded
+// construction byte-identical to the sequential one.
+func buildRows(n, deg int, seed uint64, workers int,
+	fill func(i int, src *rng.Source, row []int32), dyn *dynamicRewire) *Graph {
+	g := &Graph{n: n, deg: deg, adj: make([]int32, n*deg), seed: seed, dyn: dyn}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var src rng.Source
+			for i := lo; i < hi; i++ {
+				src.Reseed(rng.StreamSeed(seed, uint64(i)))
+				fill(i, &src, g.adj[i*deg:(i+1)*deg])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return g
+}
+
+// View is a per-worker read handle over a Graph: it owns the scratch row
+// and scratch RNG that dynamic rewiring needs, so any number of Views
+// can walk the same graph concurrently without shared mutable state.
+type View struct {
+	g       *Graph
+	row     []int32
+	scratch []int32
+	src     rng.Source // rewire-decision stream, reseeded per (round, agent)
+	round   int
+}
+
+// NewView returns a fresh read handle over the graph.
+func (g *Graph) NewView() *View {
+	return &View{g: g, scratch: make([]int32, g.deg)}
+}
+
+// NewRound installs the round number; dynamic topologies derive their
+// per-agent rewire streams from it.
+func (v *View) NewRound(round int) { v.round = round }
+
+// Bind aims the view at one agent's current-round out-neighbor row. For
+// static topologies this is the built row; for DynamicRewire the row is
+// resampled into the view's scratch with probability p, from a stream
+// derived from (graph seed, round, agent) alone.
+func (v *View) Bind(agent int) {
+	base := v.g.Base(agent)
+	d := v.g.dyn
+	if d == nil {
+		v.row = base
+		return
+	}
+	v.src.Reseed(rng.StreamSeed(rng.StreamSeed(v.g.seed, uint64(v.round)+1), uint64(agent)))
+	if !v.src.Bernoulli(d.p) {
+		v.row = base
+		return
+	}
+	fillKOutRowN(agent, v.g.n, &v.src, v.scratch)
+	v.row = v.scratch
+}
+
+// Next draws one uniform observation target from the bound agent's row,
+// using the caller's RNG stream (the observing agent's own stream, which
+// is what keeps sharded sweeps deterministic).
+func (v *View) Next(src *rng.Source) int {
+	return int(v.row[src.Intn(len(v.row))])
+}
+
+// Degree returns the out-degree of the bound row.
+func (v *View) Degree() int { return v.g.deg }

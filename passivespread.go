@@ -46,16 +46,26 @@
 // # Sweeps and scenarios
 //
 // Parameter grids — the paper's phase diagrams — are first-class: a
-// SweepSpec crosses the Ns × Ells × Engines × Scenarios axes, NewSweep
-// expands the grid, and Sweep.Run / Sweep.Stream execute every cell's
-// replicates from one shared worker pool, rendering CSV/JSON artifacts
-// (SweepReport). Cell c runs with seed StreamSeed(root, c), extending
+// SweepSpec crosses the Ns × Ells × Engines × Topologies × Scenarios
+// axes, NewSweep expands the grid, and Sweep.Run / Sweep.Stream execute
+// every cell's replicates from one shared worker pool, rendering
+// CSV/JSON artifacts (SweepReport). Cell c runs with seed StreamSeed(root, c), extending
 // the replicate rule one level up, so sweep outputs are byte-identical
 // at every worker count. Scenario presets (Scenarios, ScenarioByName,
 // RegisterScenario) name the qualitative conditions: adversarial
 // starts, observation noise, mid-run flips of the correct bit, source
-// counts, baseline protocols, and async/clocked scheduling variants.
-// See DESIGN.md §3.
+// counts, baseline protocols, sparse observation topologies, and
+// async/clocked scheduling variants. See DESIGN.md §3.
+//
+// # Observation topologies
+//
+// The paper's uniform-mixing assumption is itself a pluggable layer:
+// Options.Topology / Config.Topology / SweepSpec.Topologies select who
+// each agent can observe (CompleteTopology, Ring, Torus, RandomRegular,
+// SmallWorld, DynamicRewire; ParseTopology for CLI specs). Complete is
+// the default and leaves every output byte-identical to the
+// pre-topology layout; non-complete topologies run on the agent engines
+// with the same determinism contract. See DESIGN.md §5.
 package passivespread
 
 import (
@@ -69,6 +79,7 @@ import (
 	"passivespread/internal/experiment"
 	"passivespread/internal/markov"
 	"passivespread/internal/sim"
+	"passivespread/internal/topo"
 )
 
 // Re-exported simulation types. The aliases expose the full engine API at
@@ -241,6 +252,11 @@ type Options struct {
 	// Parallelism bounds EngineAgentParallel's worker count
 	// (0 = GOMAXPROCS). Any value yields bit-identical results.
 	Parallelism int
+	// Topology selects the observation topology (nil = CompleteTopology(),
+	// the paper's uniform mixing). Non-complete topologies run on the
+	// agent engines only: EngineAggregate and EngineMarkovChain are exact
+	// only under uniform mixing and are rejected with ErrInvalidOptions.
+	Topology Topology
 }
 
 // validate checks the fields that default derivation and the simulator's
@@ -261,6 +277,18 @@ func (o Options) validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("%w: Parallelism = %d, want ≥ 0", ErrInvalidOptions, o.Parallelism)
+	}
+	if !topo.IsComplete(o.Topology) {
+		// Engine/topology incompatibilities fail here, up front, instead of
+		// surfacing from inside a Study worker mid-batch.
+		switch o.Engine {
+		case EngineAggregate, EngineMarkovChain:
+			return fmt.Errorf("%w: engine %s is exact only under uniform mixing; topology %q needs an agent engine (fast, exact or parallel)",
+				ErrInvalidOptions, EngineName(o.Engine), o.Topology.Name())
+		}
+		if err := o.Topology.Validate(o.N); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
 	}
 	return nil
 }
@@ -307,6 +335,7 @@ func (o Options) config() (Config, error) {
 		Init:             init,
 		Engine:           o.Engine,
 		Parallelism:      o.Parallelism,
+		Topology:         o.Topology,
 		Seed:             o.Seed,
 		MaxRounds:        maxRounds,
 		CorruptStates:    true,

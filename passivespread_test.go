@@ -107,7 +107,7 @@ func TestNewChainQuick(t *testing.T) {
 
 func TestExperimentRegistryExported(t *testing.T) {
 	all := Experiments()
-	if len(all) != 22 {
+	if len(all) != 23 {
 		t.Fatalf("%d experiments", len(all))
 	}
 	if _, ok := LookupExperiment("E17"); !ok {

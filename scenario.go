@@ -52,6 +52,12 @@ type Scenario struct {
 	// cell's sample size ℓ). The constructor receives the resolved ℓ;
 	// protocols that ignore it (Voter, 3-Majority) may do so.
 	Protocol func(ell int) Protocol
+	// Topology pins the observation topology of the scenario (nil = the
+	// sweep cell's topology-axis value, itself defaulting to complete).
+	// A pinned topology cannot cross a sweep's non-default topology axis,
+	// and is incompatible with custom-runner scenarios and the
+	// Markov-chain engine (both are uniform-mixing constructs).
+	Topology Topology
 	// Run, when non-nil, replaces the synchronous engine path entirely:
 	// the scenario executes each replicate itself (used by the sequential
 	// activation and clocked-baseline scenarios, whose schedulers are not
@@ -118,12 +124,16 @@ func (sc Scenario) validate() error {
 	if sc.Run == nil && sc.EngineLabel != "" {
 		return fmt.Errorf("%w: scenario %q: EngineLabel is only meaningful with a custom Run", ErrInvalidOptions, sc.Name)
 	}
+	if sc.Run != nil && sc.Topology != nil {
+		return fmt.Errorf("%w: scenario %q: a custom Run defines its own scheduling and cannot pin a Topology",
+			ErrInvalidOptions, sc.Name)
+	}
 	return nil
 }
 
 // config builds the per-replicate simulation template of a synchronous
 // sweep cell. The cell seed goes into Config.Seed (the Study root seed).
-func (sc Scenario) config(n, ell, maxRounds int, engine EngineKind, parallelism int, cellSeed uint64) Config {
+func (sc Scenario) config(n, ell, maxRounds int, engine EngineKind, topology Topology, parallelism int, cellSeed uint64) Config {
 	init, sources := sc.resolved()
 	var proto Protocol
 	if sc.Protocol != nil {
@@ -146,6 +156,7 @@ func (sc Scenario) config(n, ell, maxRounds int, engine EngineKind, parallelism 
 		Init:          init,
 		Engine:        engine,
 		Parallelism:   parallelism,
+		Topology:      topology,
 		Seed:          cellSeed,
 		MaxRounds:     maxRounds,
 		CorruptStates: !sc.KeepMemories,
@@ -160,7 +171,7 @@ func (sc Scenario) config(n, ell, maxRounds int, engine EngineKind, parallelism 
 // scheduler overrides, and an initializer with a deterministic opinion
 // fraction.
 func (sc Scenario) chainCompatible() bool {
-	if sc.Run != nil || sc.Protocol != nil || sc.NoiseEps != 0 || sc.FlipFrac != 0 || sc.Sources > 1 {
+	if sc.Run != nil || sc.Protocol != nil || sc.NoiseEps != 0 || sc.FlipFrac != 0 || sc.Sources > 1 || sc.Topology != nil {
 		return false
 	}
 	switch sc.Init.(type) {
@@ -305,6 +316,30 @@ func init() {
 		Description: "clocked phase baseline with adversarially desynchronized local clocks (non-passive messages)",
 		Run:         clockedRunner(ModeLocalClocks, true),
 		EngineLabel: "clocked-local",
+	})
+	// The sparse-* presets drop the paper's uniform-mixing assumption:
+	// the same worst-case start on structured observation topologies
+	// (internal/topo). They register last so pre-topology listings keep
+	// their positions.
+	mustRegisterScenario(Scenario{
+		Name:        "sparse-regular",
+		Description: "worst case on a random 8-out observation digraph (uniform mixing removed)",
+		Topology:    RandomRegular(8),
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "sparse-ring",
+		Description: "worst case on the 2-nearest-neighbor ring (maximal diameter; spread is local)",
+		Topology:    Ring(2),
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "sparse-small-world",
+		Description: "worst case on a Watts–Strogatz small world (ring:4 base, β = 0.1 rewiring)",
+		Topology:    SmallWorld(4, 0.1),
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "sparse-dynamic",
+		Description: "worst case on a random 8-out digraph rewired per agent w.p. 0.2 each round",
+		Topology:    DynamicRewire(8, 0.2),
 	})
 }
 

@@ -11,6 +11,7 @@ func TestScenarioRegistryBuiltins(t *testing.T) {
 		"worst-case", "half-split", "uniform", "clean-start", "noisy",
 		"trend-flip", "multi-source", "simple-trend", "voter-control",
 		"async", "clocked-shared", "clocked-local",
+		"sparse-regular", "sparse-ring", "sparse-small-world", "sparse-dynamic",
 	}
 	all := Scenarios()
 	if len(all) < len(want) {
@@ -87,7 +88,7 @@ func TestScenarioTrendFlip(t *testing.T) {
 		t.Fatal("trend-flip not registered")
 	}
 	n := 256
-	cfg := sc.config(n, SampleSize(n), DefaultMaxRounds(n), EngineAgentFast, 0, 21)
+	cfg := sc.config(n, SampleSize(n), DefaultMaxRounds(n), EngineAgentFast, nil, 0, 21)
 	if cfg.FlipCorrectAt == 0 {
 		t.Fatal("trend-flip built a config with no flip")
 	}

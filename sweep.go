@@ -16,11 +16,12 @@ import (
 
 	"passivespread/internal/rng"
 	"passivespread/internal/stats"
+	"passivespread/internal/topo"
 )
 
 // SweepSpec describes a parameter grid: the cross-product of the
-// population, sample-size, engine, and scenario axes, with Replicates
-// independent runs per cell. A Sweep is the batch layer above Study —
+// population, sample-size, engine, topology, and scenario axes, with
+// Replicates independent runs per cell. A Sweep is the batch layer above Study —
 // where a Study answers "what does this configuration do", a Sweep
 // answers "what does the phase diagram look like".
 //
@@ -43,6 +44,13 @@ type SweepSpec struct {
 	// with a custom runner define their own scheduling and require this
 	// axis to have at most one entry.
 	Engines []EngineKind
+	// Topologies is the observation-topology axis (nil = [complete],
+	// the paper's uniform mixing). Non-complete entries require agent
+	// engines: crossing them with EngineAggregate or EngineMarkovChain,
+	// with a custom-runner scenario, or with a scenario that pins its own
+	// Topology is rejected up front with ErrInvalidOptions. Entries are
+	// identified by Topology.Name() in cells, rows and artifacts.
+	Topologies []Topology
 	// Scenarios is the scenario axis (nil = the worst-case preset).
 	// Entries need not be registered; they are validated directly.
 	Scenarios []Scenario
@@ -76,6 +84,9 @@ type SweepCell struct {
 	// Engine is the display name of what executes the cell (an engine
 	// name, or a custom-runner scenario's EngineLabel).
 	Engine string
+	// Topology is the canonical name of the cell's observation topology
+	// ("complete" under uniform mixing).
+	Topology string
 	// N and Ell are the resolved grid values.
 	N, Ell int
 	// Seed is the cell's derived root seed, StreamSeed(sweep seed, Index).
@@ -87,9 +98,10 @@ type SweepCell struct {
 type SweepRow struct {
 	// Cell is the cell index in expansion order.
 	Cell int `json:"cell"`
-	// Scenario and Engine name the cell's conditions.
+	// Scenario, Engine and Topology name the cell's conditions.
 	Scenario string `json:"scenario"`
 	Engine   string `json:"engine"`
+	Topology string `json:"topology"`
 	// N and Ell are the resolved grid values.
 	N   int `json:"n"`
 	Ell int `json:"ell"`
@@ -160,11 +172,13 @@ type Sweep struct {
 // (all per-cell validation happens here, not mid-run).
 //
 // Cells expand scenario-major: for each scenario, for each engine, for
-// each n, for each ℓ — so cell index = ((s·|Engines| + e)·|Ns| + n)·|Ells| + ℓ
-// in axis order. The expansion order is part of the seed contract:
-// reordering axis values re-seeds cells, while changing Replicates,
-// Workers, or axis *lengths elsewhere in the grid* does not affect a
-// cell with the same index.
+// each topology, for each n, for each ℓ — so cell index =
+// (((s·|Engines| + e)·|Topologies| + t)·|Ns| + n)·|Ells| + ℓ in axis
+// order. The expansion order is part of the seed contract: reordering
+// axis values re-seeds cells, while changing Replicates, Workers, or
+// axis *lengths elsewhere in the grid* does not affect a cell with the
+// same index. A nil Topologies axis is the singleton [complete], so
+// pre-topology sweeps keep their exact cell indices and seeds.
 func NewSweep(spec SweepSpec) (*Sweep, error) {
 	if spec.Replicates < 1 {
 		return nil, fmt.Errorf("%w: Replicates = %d, want ≥ 1", ErrInvalidOptions, spec.Replicates)
@@ -216,6 +230,31 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 		}
 		seenEng[e] = true
 	}
+	topologies := spec.Topologies
+	if len(topologies) == 0 {
+		topologies = []Topology{nil} // uniform mixing, the default
+	}
+	anySparse := false
+	seenTopo := make(map[string]bool, len(topologies))
+	for _, tp := range topologies {
+		name := topo.DisplayName(tp)
+		if seenTopo[name] {
+			return nil, fmt.Errorf("%w: duplicate topology %q", ErrInvalidOptions, name)
+		}
+		seenTopo[name] = true
+		if topo.IsComplete(tp) {
+			continue
+		}
+		anySparse = true
+		// Engine/topology incompatibilities fail for the whole grid, up
+		// front: the exact engines are exact only under uniform mixing.
+		for _, e := range engines {
+			if e == EngineAggregate || e == EngineMarkovChain {
+				return nil, fmt.Errorf("%w: engine %s is exact only under uniform mixing and cannot cross topology %q; sweep it separately",
+					ErrInvalidOptions, EngineName(e), name)
+			}
+		}
+	}
 	scenarios := spec.Scenarios
 	if len(scenarios) == 0 {
 		sc, ok := ScenarioByName(DefaultScenario)
@@ -237,6 +276,14 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 			return nil, fmt.Errorf("%w: scenario %q has its own scheduler and cannot cross the engine axis %v; sweep it separately",
 				ErrInvalidOptions, sc.Name, engineNames(engines))
 		}
+		if anySparse && sc.Run != nil {
+			return nil, fmt.Errorf("%w: scenario %q has its own scheduler and cannot cross a non-complete topology axis; sweep it separately",
+				ErrInvalidOptions, sc.Name)
+		}
+		if sc.Topology != nil && (anySparse || len(topologies) > 1) {
+			return nil, fmt.Errorf("%w: scenario %q pins topology %q and cannot cross the topology axis; sweep it separately",
+				ErrInvalidOptions, sc.Name, sc.Topology.Name())
+		}
 	}
 
 	c := spec.C
@@ -248,27 +295,35 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 		parallelism = 1
 	}
 	s := &Sweep{replicates: spec.Replicates}
-	s.cells = make([]sweepCell, 0, len(scenarios)*len(engines)*len(spec.Ns)*len(ells))
+	s.cells = make([]sweepCell, 0, len(scenarios)*len(engines)*len(topologies)*len(spec.Ns)*len(ells))
 	for _, sc := range scenarios {
 		for _, engine := range engines {
-			for _, n := range spec.Ns {
-				for _, specEll := range ells {
-					idx := len(s.cells)
-					ell := specEll
-					if ell == 0 {
-						ell = SampleSizeC(n, c)
+			for _, axisTopo := range topologies {
+				// A scenario that pins its own topology wins; validation
+				// above guarantees the axis is the default [complete] then.
+				cellTopo := axisTopo
+				if sc.Topology != nil {
+					cellTopo = sc.Topology
+				}
+				for _, n := range spec.Ns {
+					for _, specEll := range ells {
+						idx := len(s.cells)
+						ell := specEll
+						if ell == 0 {
+							ell = SampleSizeC(n, c)
+						}
+						maxRounds := spec.MaxRounds
+						if maxRounds == 0 {
+							maxRounds = DefaultMaxRounds(n)
+						}
+						cell, err := newSweepCell(idx, sc, engine, cellTopo, n, ell, maxRounds, parallelism,
+							rng.StreamSeed(spec.Seed, uint64(idx)), spec.Replicates)
+						if err != nil {
+							return nil, fmt.Errorf("cell %d (scenario %s, engine %s, topology %s, n=%d, ℓ=%d): %w",
+								idx, sc.Name, EngineName(engine), topo.DisplayName(cellTopo), n, ell, err)
+						}
+						s.cells = append(s.cells, cell)
 					}
-					maxRounds := spec.MaxRounds
-					if maxRounds == 0 {
-						maxRounds = DefaultMaxRounds(n)
-					}
-					cell, err := newSweepCell(idx, sc, engine, n, ell, maxRounds, parallelism,
-						rng.StreamSeed(spec.Seed, uint64(idx)), spec.Replicates)
-					if err != nil {
-						return nil, fmt.Errorf("cell %d (scenario %s, engine %s, n=%d, ℓ=%d): %w",
-							idx, sc.Name, EngineName(engine), n, ell, err)
-					}
-					s.cells = append(s.cells, cell)
 				}
 			}
 		}
@@ -286,12 +341,13 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 }
 
 // newSweepCell prepares one grid cell.
-func newSweepCell(idx int, sc Scenario, engine EngineKind, n, ell, maxRounds, parallelism int,
+func newSweepCell(idx int, sc Scenario, engine EngineKind, cellTopo Topology, n, ell, maxRounds, parallelism int,
 	cellSeed uint64, replicates int) (sweepCell, error) {
 	cell := sweepCell{meta: SweepCell{
 		Index:    idx,
 		Scenario: sc.Name,
 		Engine:   EngineName(engine),
+		Topology: topo.DisplayName(cellTopo),
 		N:        n,
 		Ell:      ell,
 		Seed:     cellSeed,
@@ -321,7 +377,7 @@ func newSweepCell(idx int, sc Scenario, engine EngineKind, n, ell, maxRounds, pa
 		cell.study = study
 		return cell, nil
 	default:
-		cfg := sc.config(n, ell, maxRounds, engine, parallelism, cellSeed)
+		cfg := sc.config(n, ell, maxRounds, engine, cellTopo, parallelism, cellSeed)
 		study, err := NewStudy(StudySpec{Replicates: replicates, Workers: 1, Config: &cfg})
 		if err != nil {
 			return cell, err
@@ -444,6 +500,7 @@ func (s *Sweep) row(cell int, results []RunResult) (SweepRow, bool) {
 		Cell:       meta.Index,
 		Scenario:   meta.Scenario,
 		Engine:     meta.Engine,
+		Topology:   meta.Topology,
 		N:          meta.N,
 		Ell:        meta.Ell,
 		Seed:       meta.Seed,
@@ -500,9 +557,12 @@ func (s *Sweep) Run(ctx context.Context) (*SweepReport, error) {
 	return rep, nil
 }
 
-// sweepCSVHeader is the column order of the CSV artifact.
+// sweepCSVHeader is the column order of the CSV artifact. The topology
+// column was added with the topology axis; rows from uniform-mixing
+// sweeps carry "complete" there, and all other columns are unchanged
+// from the pre-topology schema.
 var sweepCSVHeader = []string{
-	"cell", "scenario", "engine", "n", "ell", "seed", "replicates",
+	"cell", "scenario", "engine", "topology", "n", "ell", "seed", "replicates",
 	"converged", "success_rate", "mean_rounds", "median_rounds", "p95_rounds", "max_rounds", "error",
 }
 
@@ -517,7 +577,7 @@ func (r *SweepReport) WriteCSV(w io.Writer) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, row := range r.Rows {
 		rec := []string{
-			strconv.Itoa(row.Cell), row.Scenario, row.Engine,
+			strconv.Itoa(row.Cell), row.Scenario, row.Engine, row.Topology,
 			strconv.Itoa(row.N), strconv.Itoa(row.Ell),
 			strconv.FormatUint(row.Seed, 10), strconv.Itoa(row.Replicates),
 			strconv.Itoa(row.Converged), f(row.SuccessRate),
@@ -593,21 +653,22 @@ func ParseSweepCSV(r io.Reader) ([]SweepRow, error) {
 		row.Cell = atoi(rec[0])
 		row.Scenario = rec[1]
 		row.Engine = rec[2]
-		row.N = atoi(rec[3])
-		row.Ell = atoi(rec[4])
-		seed, err := strconv.ParseUint(rec[5], 10, 64)
+		row.Topology = rec[3]
+		row.N = atoi(rec[4])
+		row.Ell = atoi(rec[5])
+		seed, err := strconv.ParseUint(rec[6], 10, 64)
 		if err != nil && parseErr == nil {
 			parseErr = err
 		}
 		row.Seed = seed
-		row.Replicates = atoi(rec[6])
-		row.Converged = atoi(rec[7])
-		row.SuccessRate = atof(rec[8])
-		row.Mean = atof(rec[9])
-		row.Median = atof(rec[10])
-		row.P95 = atof(rec[11])
-		row.Max = atof(rec[12])
-		row.Err = rec[13]
+		row.Replicates = atoi(rec[7])
+		row.Converged = atoi(rec[8])
+		row.SuccessRate = atof(rec[9])
+		row.Mean = atof(rec[10])
+		row.Median = atof(rec[11])
+		row.P95 = atof(rec[12])
+		row.Max = atof(rec[13])
+		row.Err = rec[14]
 		if parseErr != nil {
 			return nil, fmt.Errorf("passivespread: sweep CSV row %d: %w", lineNo+2, parseErr)
 		}

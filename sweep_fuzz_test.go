@@ -1,0 +1,131 @@
+package passivespread
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// seedSweepCSV renders a real two-topology sweep report once, giving the
+// fuzzers a well-formed corpus entry that includes the topology column.
+func seedSweepCSV(tb testing.TB) *SweepReport {
+	tb.Helper()
+	sweep, err := NewSweep(SweepSpec{
+		Ns:         []int{64},
+		Topologies: []Topology{CompleteTopology(), RandomRegular(8)},
+		Replicates: 2,
+		Seed:       3,
+		MaxRounds:  40,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rep, err := sweep.Run(context.Background())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rep
+}
+
+// FuzzParseSweepCSV: ParseSweepCSV must never panic, and any input it
+// accepts must round-trip — rendering the parsed rows and re-parsing
+// them is a fixed point (the renderer's canonical formatting absorbs
+// any cosmetic variation the parser tolerated).
+func FuzzParseSweepCSV(f *testing.F) {
+	rep := seedSweepCSV(f)
+	f.Add(rep.CSV())
+	header := "cell,scenario,engine,topology,n,ell,seed,replicates,converged,success_rate,mean_rounds,median_rounds,p95_rounds,max_rounds,error"
+	f.Add(header + "\n")
+	f.Add(header + "\n0,worst-case,agent-fast,ring:2,64,18,1,2,2,1,4,4,4,4,\n")
+	f.Add(header + "\n0,worst-case,agent-fast,complete,64,18,1,2,2,1,4,4,4,4,boom\n")
+	// Malformed rows: short, long, non-numeric, bad seed, wrong header.
+	f.Add(header + "\n0,worst-case\n")
+	f.Add(header + "\n0,worst-case,agent-fast,complete,64,18,1,2,2,1,4,4,4,4,x,y\n")
+	f.Add(header + "\nzero,worst-case,agent-fast,complete,64,18,1,2,2,1,4,4,4,4,\n")
+	f.Add(header + "\n0,worst-case,agent-fast,complete,64,18,-1,2,2,1,4,4,4,4,\n")
+	f.Add(header + "\n0,worst-case,agent-fast,complete,64,18,1,2,2,NaN,4,4,4,4,\n")
+	f.Add("cell,scenario\n0,worst-case\n")
+	f.Add("")
+	f.Add("\"unterminated")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		rows, err := ParseSweepCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected is fine; panicking is the bug being hunted
+		}
+		rendered := (&SweepReport{Cells: len(rows), Replicates: 0, Rows: rows}).CSV()
+		rows2, err := ParseSweepCSV(strings.NewReader(rendered))
+		if err != nil {
+			t.Fatalf("re-parsing our own rendering failed: %v\ninput: %q\nrendered: %q", err, input, rendered)
+		}
+		rendered2 := (&SweepReport{Cells: len(rows2), Replicates: 0, Rows: rows2}).CSV()
+		if rendered != rendered2 {
+			t.Fatalf("render∘parse is not a fixed point:\nfirst:  %q\nsecond: %q", rendered, rendered2)
+		}
+	})
+}
+
+// FuzzParseSweepJSON: same contract for the JSON artifact.
+func FuzzParseSweepJSON(f *testing.F) {
+	rep := seedSweepCSV(f)
+	data, err := rep.JSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(data))
+	f.Add(`{}`)
+	f.Add(`{"cells": 1, "replicates": 2, "rows": [{"cell": 0, "topology": "ring:2"}]}`)
+	f.Add(`{"cells": "one"}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"rows": [{"seed": -1}]}`)
+	f.Add(``)
+	f.Add(`{`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		rep, err := ParseSweepJSON([]byte(input))
+		if err != nil {
+			return
+		}
+		rendered, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("re-rendering parsed JSON failed: %v\ninput: %q", err, input)
+		}
+		rep2, err := ParseSweepJSON(rendered)
+		if err != nil {
+			t.Fatalf("re-parsing our own rendering failed: %v\nrendered: %s", err, rendered)
+		}
+		rendered2, err := rep2.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rendered) != string(rendered2) {
+			t.Fatalf("render∘parse is not a fixed point:\nfirst:  %s\nsecond: %s", rendered, rendered2)
+		}
+	})
+}
+
+// TestParseSweepCSVTopologyColumn: the seed-corpus cases as a plain
+// test, so the malformed-row behavior is exercised on every `go test`
+// run, not only under `go test -fuzz`.
+func TestParseSweepCSVTopologyColumn(t *testing.T) {
+	rep := seedSweepCSV(t)
+	rows, err := ParseSweepCSV(strings.NewReader(rep.CSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Topology != "complete" || rows[1].Topology != "random-regular:8" {
+		t.Fatalf("round-trip lost the topology column: %+v", rows)
+	}
+	bad := []string{
+		"", // no header
+		"cell,scenario\n",
+		"cell,scenario,engine,n,ell,seed,replicates,converged,success_rate,mean_rounds,median_rounds,p95_rounds,max_rounds,error\n", // pre-topology header
+		"cell,scenario,engine,topology,n,ell,seed,replicates,converged,success_rate,mean_rounds,median_rounds,p95_rounds,max_rounds,error\n0,w,f,complete,64\n",
+		"cell,scenario,engine,topology,n,ell,seed,replicates,converged,success_rate,mean_rounds,median_rounds,p95_rounds,max_rounds,error\nzero,w,f,complete,64,18,1,2,2,1,4,4,4,4,\n",
+	}
+	for _, input := range bad {
+		if _, err := ParseSweepCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("ParseSweepCSV accepted %q", input)
+		}
+	}
+}

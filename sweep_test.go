@@ -104,7 +104,7 @@ func TestSweepCellSeedContract(t *testing.T) {
 	if kind == -2 {
 		t.Fatalf("unexpected engine %q", cell.Engine)
 	}
-	cfg := sc.config(cell.N, cell.Ell, DefaultMaxRounds(cell.N), kind, 0, cell.Seed)
+	cfg := sc.config(cell.N, cell.Ell, DefaultMaxRounds(cell.N), kind, nil, 0, cell.Seed)
 	study, err := NewStudy(StudySpec{Replicates: spec.Replicates, Config: &cfg})
 	if err != nil {
 		t.Fatal(err)
@@ -367,13 +367,13 @@ func TestSweepScenarioAxes(t *testing.T) {
 }
 
 // TestRootExperimentRegistry verifies that the sweep-based experiments
-// registered by this package complete the harness registry (E01–E22).
+// registered by this package complete the harness registry (E01–E23).
 func TestRootExperimentRegistry(t *testing.T) {
 	all := Experiments()
-	if len(all) != 22 {
-		t.Fatalf("root registry has %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("root registry has %d experiments, want 23", len(all))
 	}
-	for _, id := range []string{"E01", "E13"} {
+	for _, id := range []string{"E01", "E13", "E23"} {
 		if _, ok := LookupExperiment(id); !ok {
 			t.Fatalf("sweep-based experiment %s not registered", id)
 		}
@@ -386,7 +386,7 @@ func TestSweepExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke experiments take seconds; skipped in -short")
 	}
-	for _, id := range []string{"E01", "E13"} {
+	for _, id := range []string{"E01", "E13", "E23"} {
 		e, ok := LookupExperiment(id)
 		if !ok {
 			t.Fatalf("%s not registered", id)
