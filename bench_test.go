@@ -194,6 +194,79 @@ func BenchmarkTopologyStep(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicateAlloc measures the steady-state round loop of the
+// agent engines with allocation reporting: after the bitset/pooling
+// overhaul the loop runs at 0 allocs/round (packed opinions, in-place
+// binomial retabulation, executor-owned parallel scratch, persistent
+// shard workers), which the CI allocation gate enforces on this
+// benchmark's allocs/op. Timing baselines live in BENCH_hotpath.json.
+func BenchmarkReplicateAlloc(b *testing.B) {
+	engines := []struct {
+		name string
+		kind EngineKind
+		par  int
+	}{
+		{"fast", EngineAgentFast, 0},
+		{"parallel", EngineAgentParallel, 4},
+	}
+	n := 16384
+	for _, eng := range engines {
+		b.Run(fmt.Sprintf("n=%d/%s", n, eng.name), func(b *testing.B) {
+			b.ReportAllocs()
+			ell := SampleSize(n)
+			res, err := Run(Config{
+				N:           n,
+				Protocol:    NewFET(ell),
+				Init:        FractionInit(0.5),
+				Correct:     OpinionOne,
+				Engine:      eng.kind,
+				Parallelism: eng.par,
+				Seed:        1,
+				MaxRounds:   b.N,
+				RunToEnd:    true,
+				Observers: []Observer{ObserverFunc(func(ev RoundEvent) error {
+					if ev.Round == 0 {
+						// Exclude replicate setup (population build, worker
+						// spawn, table growth) so allocs/op and ns/op report
+						// the steady-state per-round cost.
+						b.ResetTimer()
+					}
+					return nil
+				})},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+			b.ReportMetric(float64(n), "agents/round")
+		})
+	}
+
+	// The pooled-replicate shape: repeated same-shape leases from one
+	// Study-style pool, measuring whole replicates with executor reuse.
+	b.Run("pooled-study", func(b *testing.B) {
+		study, err := NewStudy(StudySpec{
+			Replicates: b.N,
+			Workers:    1,
+			Options:    Options{N: 4096, Seed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		report, err := study.Run(context.Background())
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Convergence.Converged == 0 {
+			b.Fatal("no replicate converged")
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
+	})
+}
+
 // BenchmarkAggregateWorstCase measures a complete worst-case
 // dissemination (all-wrong start, corrupted memories) at n = 10⁸ on the
 // occupancy engine — the run that is out of reach for the agent engines.

@@ -1,0 +1,62 @@
+package passivespread
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun compiles every examples/ program and smoke-runs
+// it, so example rot (an API change that breaks a README-advertised
+// program, a panic on its fixed small inputs) fails tier-1 instead of
+// surviving until a user copies the code. The examples run tiny fixed
+// configurations by design; the slowest (the sweep grid) is capped by a
+// generous timeout.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds and runs binaries; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+
+	bin := t.TempDir()
+	args := append([]string{"build", "-o", bin}, func() []string {
+		pkgs := make([]string, len(names))
+		for i, n := range names {
+			pkgs[i] = "./examples/" + n
+		}
+		return pkgs
+	}()...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building examples: %v\n%s", err, out)
+	}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			start := time.Now()
+			run := exec.Command(filepath.Join(bin, name))
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %v: %v\n%s", name, time.Since(start), err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -93,6 +93,12 @@ func (f *FET) MemoryBits() int {
 // SampleSizes implements sim.Protocol.
 func (f *FET) SampleSizes() []int { return []int{f.ell} }
 
+// DrawsPerRound implements sim.FixedDraws: every Step makes exactly two
+// declared CountOnes calls and no Sample calls, so on the tabulated fast
+// path an agent consumes exactly two stream outputs per round — which
+// the fast observer prefetches in one bulk fill.
+func (f *FET) DrawsPerRound() int { return 2 }
+
 // NewAgent implements sim.Protocol.
 func (f *FET) NewAgent(*rng.Source) sim.Agent {
 	return &FETAgent{ell: f.ell}
@@ -109,7 +115,14 @@ var (
 	_ sim.Agent            = (*FETAgent)(nil)
 	_ sim.StateCorruptible = (*FETAgent)(nil)
 	_ sim.TrendSeeder      = (*FETAgent)(nil)
+	_ sim.AgentResetter    = (*FETAgent)(nil)
+	_ sim.FixedDraws       = (*FET)(nil)
 )
+
+// ResetAgent implements sim.AgentResetter: a fresh FET agent stores
+// count″ = 0, so pooled executors reset the field instead of
+// reallocating the agent.
+func (a *FETAgent) ResetAgent() { a.prevCount = 0 }
 
 // Step implements sim.Agent.
 func (a *FETAgent) Step(cur byte, obs sim.Observation) byte {
@@ -184,6 +197,10 @@ func (s *SimpleTrend) SamplesPerRound() int { return s.ell }
 // SampleSizes implements sim.Protocol.
 func (s *SimpleTrend) SampleSizes() []int { return []int{s.ell} }
 
+// DrawsPerRound implements sim.FixedDraws: one declared CountOnes call
+// per Step, no Sample calls.
+func (s *SimpleTrend) DrawsPerRound() int { return 1 }
+
 // NewAgent implements sim.Protocol.
 func (s *SimpleTrend) NewAgent(*rng.Source) sim.Agent {
 	return &SimpleTrendAgent{ell: s.ell}
@@ -199,7 +216,12 @@ var (
 	_ sim.Agent            = (*SimpleTrendAgent)(nil)
 	_ sim.StateCorruptible = (*SimpleTrendAgent)(nil)
 	_ sim.TrendSeeder      = (*SimpleTrendAgent)(nil)
+	_ sim.AgentResetter    = (*SimpleTrendAgent)(nil)
+	_ sim.FixedDraws       = (*SimpleTrend)(nil)
 )
+
+// ResetAgent implements sim.AgentResetter.
+func (a *SimpleTrendAgent) ResetAgent() { a.prevCount = 0 }
 
 // Step implements sim.Agent.
 func (a *SimpleTrendAgent) Step(cur byte, obs sim.Observation) byte {

@@ -1,0 +1,95 @@
+package rng
+
+// MaxBatchChunk is the largest per-refill size a Batch supports.
+const MaxBatchChunk = 64
+
+// Batch is a buffered consumer over a Source: it pre-generates stream
+// outputs in chunks (one Fill per refill) and hands them out one draw at
+// a time through mirrors of the Source sampling methods. Every consuming
+// call reads exactly the values, in exactly the order, that the same
+// call sequence would have drawn from the Source directly — Intn keeps
+// Lemire's rejection discipline, Bernoulli keeps its zero-consumption
+// clamps — so replacing per-draw calls with a Batch never changes a
+// result.
+//
+// The one divergence is the generator state: a refill advances the
+// Source past the values still sitting in the buffer. Batch is therefore
+// only for ephemeral streams that are reseeded before their next use
+// (topology row construction, per-(round, agent) rewire streams), where
+// discarding the tail of a stream is unobservable. Reset discards any
+// buffered leftovers after such a reseed.
+type Batch struct {
+	src       *Source
+	buf       [MaxBatchChunk]uint64
+	pos, have int
+	chunk     int
+}
+
+// Init aims the batch at src with the given refill chunk size (clamped
+// to [1, MaxBatchChunk]) and discards any buffered values.
+func (b *Batch) Init(src *Source, chunk int) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > MaxBatchChunk {
+		chunk = MaxBatchChunk
+	}
+	b.src, b.chunk = src, chunk
+	b.pos, b.have = 0, 0
+}
+
+// Reset discards buffered values. Call it after reseeding the underlying
+// Source so stale pre-generated outputs from the previous stream cannot
+// leak into the new one.
+func (b *Batch) Reset() { b.pos, b.have = 0, 0 }
+
+// Uint64 returns the stream's next output, refilling the buffer in bulk
+// when it runs dry.
+func (b *Batch) Uint64() uint64 {
+	if b.pos == b.have {
+		b.src.Fill(b.buf[:b.chunk])
+		b.pos, b.have = 0, b.chunk
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return v
+}
+
+// Float64 returns a uniform float64 in [0, 1), consuming one output
+// exactly like Source.Float64.
+func (b *Batch) Float64() float64 {
+	return UnitFloat(b.Uint64())
+}
+
+// Intn returns a uniform integer in [0, n) with the same nearly
+// divisionless rejection discipline as Source.Intn: identical values
+// consumed, identical rejection behavior.
+func (b *Batch) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	bound := uint64(n)
+	x := b.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = b.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Bernoulli returns true with probability p, mirroring Source.Bernoulli
+// exactly — including consuming no output at all when p is outside
+// (0, 1).
+func (b *Batch) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return b.Float64() < p
+}

@@ -132,8 +132,19 @@ type BinomialCDF struct {
 // small enough that an (n+1)-entry table is acceptable (it is intended for
 // n = ℓ = O(log population)).
 func NewBinomialCDF(n int, p float64) *BinomialCDF {
+	b := &BinomialCDF{}
+	b.Reset(n, p)
+	return b
+}
+
+// Reset retabulates the sampler for Binomial(n, p) in place, reusing the
+// CDF backing array whenever its capacity allows. The round loops rebuild
+// their per-round tables through Reset so retabulating the observation law
+// every round costs zero steady-state allocations. A zero-value
+// BinomialCDF is valid Reset input.
+func (b *BinomialCDF) Reset(n int, p float64) {
 	if n < 0 {
-		panic("rng: NewBinomialCDF with negative n")
+		panic("rng: BinomialCDF with negative n")
 	}
 	if p < 0 {
 		p = 0
@@ -141,7 +152,11 @@ func NewBinomialCDF(n int, p float64) *BinomialCDF {
 	if p > 1 {
 		p = 1
 	}
-	cdf := make([]float64, n+1)
+	cdf := b.cdf
+	if cap(cdf) < n+1 {
+		cdf = make([]float64, n+1)
+	}
+	cdf = cdf[:n+1]
 	// pmf by log-space evaluation at the mode would be more stable, but
 	// for n = O(log population) the direct recurrence from k=0 suffices
 	// unless q^n underflows; in that case start from k=n going down.
@@ -176,7 +191,7 @@ func NewBinomialCDF(n int, p float64) *BinomialCDF {
 		}
 		cdf[n] = 1
 	}
-	return &BinomialCDF{n: n, p: p, cdf: cdf}
+	b.n, b.p, b.cdf = n, p, cdf
 }
 
 // logBinomPMF returns log P(Binomial(n,p) = k) computed in log space.
@@ -206,9 +221,17 @@ func (b *BinomialCDF) N() int { return b.n }
 // P returns the success probability of the tabulated law.
 func (b *BinomialCDF) P() float64 { return b.p }
 
-// Sample draws one variate using the source.
+// Sample draws one variate using the source. It consumes exactly one
+// Float64 (one stream output) per call, in every regime of p — the
+// invariant the fast observer's per-agent draw prefetch relies on.
 func (b *BinomialCDF) Sample(src *Source) int {
-	u := src.Float64()
+	return b.SampleU(src.Float64())
+}
+
+// SampleU inverts the tabulated CDF at u ∈ [0, 1): it is Sample with the
+// uniform variate supplied by the caller, for consumers that draw their
+// uniforms in bulk.
+func (b *BinomialCDF) SampleU(u float64) int {
 	// Binary search for the smallest k with cdf[k] > u.
 	lo, hi := 0, b.n
 	for lo < hi {

@@ -1,13 +1,42 @@
 package rng
 
+import (
+	"fmt"
+	"math"
+)
+
+// pmfMassTol bounds how far a pmf's total mass may stray from 1 before
+// Multinomial refuses it: wide enough for accumulated float rounding
+// over O(ℓ) categories, tight enough to catch genuinely deficient inputs
+// (a truncated occupancy vector, an unnormalized weight vector), which
+// would otherwise silently dump every leftover trial into the last
+// category.
+const pmfMassTol = 1e-9
+
+// PMFMassError reports a probability vector whose total mass is not ~1.
+// Multinomial panics with it so the aggregate hot path keeps its
+// error-free signature while callers (and tests) can still recover and
+// inspect the observed sum.
+type PMFMassError struct {
+	// Sum is the observed total mass of the rejected pmf.
+	Sum float64
+}
+
+func (e *PMFMassError) Error() string {
+	return fmt.Sprintf("rng: Multinomial pmf sums to %v, want 1 within %v", e.Sum, pmfMassTol)
+}
+
 // Multinomial distributes m trials over the categories of pmf by the
 // standard conditional-binomial method: category i receives a
 // Binomial(remaining, pmf[i]/restMass) draw, which yields an exact
 // multinomial sample in O(len(pmf)) binomial draws. out must have
 // len(pmf) entries (or be nil, in which case it is allocated); it is
-// overwritten and returned. pmf must be non-negative and sum to ~1; any
-// trailing probability shortfall from float rounding is assigned to the
-// last category.
+// overwritten and returned. pmf entries must be non-negative and the
+// vector must sum to 1 within pmfMassTol — deficient or superunitary
+// mass panics with a *PMFMassError carrying the observed sum, rather
+// than silently assigning the discrepancy to the last category. Mass
+// discrepancies within the tolerance (ordinary float rounding) still
+// land on the last category, which keeps the sampler exact.
 func (s *Source) Multinomial(m int, pmf []float64, out []int) []int {
 	if m < 0 {
 		panic("rng: Multinomial with negative m")
@@ -17,6 +46,16 @@ func (s *Source) Multinomial(m int, pmf []float64, out []int) []int {
 	}
 	if len(out) != len(pmf) {
 		panic("rng: Multinomial with len(out) != len(pmf)")
+	}
+	total := 0.0
+	for i, p := range pmf {
+		if p < 0 || math.IsNaN(p) {
+			panic(fmt.Sprintf("rng: Multinomial pmf[%d] = %v", i, p))
+		}
+		total += p
+	}
+	if math.Abs(total-1) > pmfMassTol {
+		panic(&PMFMassError{Sum: total})
 	}
 	for i := range out {
 		out[i] = 0

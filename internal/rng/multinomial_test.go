@@ -72,3 +72,73 @@ func TestMultinomialPanics(t *testing.T) {
 	}()
 	src.Multinomial(-1, []float64{1}, nil)
 }
+
+// mustPMFMassPanic runs f and requires it to panic with a *PMFMassError
+// reporting the given observed sum.
+func mustPMFMassPanic(t *testing.T, wantSum float64, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for bad pmf mass")
+		}
+		err, ok := r.(*PMFMassError)
+		if !ok {
+			t.Fatalf("panicked with %T (%v), want *PMFMassError", r, r)
+		}
+		if math.Abs(err.Sum-wantSum) > 1e-12 {
+			t.Fatalf("PMFMassError.Sum = %v, want %v", err.Sum, wantSum)
+		}
+		if err.Error() == "" {
+			t.Fatal("empty PMFMassError message")
+		}
+	}()
+	f()
+}
+
+// TestMultinomialRejectsDeficientPMF: a pmf that sums well below 1 (a
+// truncated occupancy vector) must be rejected with the observed sum —
+// not have all leftover trials silently dumped into the last category.
+func TestMultinomialRejectsDeficientPMF(t *testing.T) {
+	src := New(5)
+	mustPMFMassPanic(t, 0.6, func() {
+		src.Multinomial(100, []float64{0.1, 0.2, 0.3}, nil)
+	})
+}
+
+// TestMultinomialRejectsSuperunitaryPMF: mass meaningfully above 1 is
+// just as invalid.
+func TestMultinomialRejectsSuperunitaryPMF(t *testing.T) {
+	src := New(6)
+	mustPMFMassPanic(t, 1.25, func() {
+		src.Multinomial(100, []float64{0.5, 0.5, 0.25}, nil)
+	})
+}
+
+// TestMultinomialRejectsNegativeEntry guards the per-entry validation.
+func TestMultinomialRejectsNegativeEntry(t *testing.T) {
+	src := New(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative pmf entry")
+		}
+	}()
+	src.Multinomial(10, []float64{1.2, -0.2}, nil)
+}
+
+// TestMultinomialToleratesRounding: float-rounding-level mass error must
+// keep working — the occupancy engines build pmfs whose sums miss 1 by a
+// few ulps, and the shortfall still lands on the last category.
+func TestMultinomialToleratesRounding(t *testing.T) {
+	src := New(8)
+	third := 1.0 / 3
+	pmf := []float64{third, third, third} // sums to 1 − 1 ulp
+	out := src.Multinomial(1000, pmf, nil)
+	sum := 0
+	for _, k := range out {
+		sum += k
+	}
+	if sum != 1000 {
+		t.Fatalf("rounded pmf split into %d trials: %v", sum, out)
+	}
+}

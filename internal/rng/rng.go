@@ -90,9 +90,40 @@ func (s *Source) Uint64() uint64 {
 	return result
 }
 
+// UnitFloat maps one 64-bit stream output to a uniform float64 in
+// [0, 1) with 53 bits of precision. It is the single conversion every
+// Float64-style draw in the repository uses — consumers that pre-fetch
+// raw outputs (rng.Batch, the fast observer's per-agent prefetch) must
+// apply exactly this function to stay bit-identical to a direct
+// Float64 call.
+func UnitFloat(u uint64) float64 {
+	return float64(u>>11) / (1 << 53)
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (s *Source) Float64() float64 {
-	return float64(s.Uint64()>>11) / (1 << 53)
+	return UnitFloat(s.Uint64())
+}
+
+// Fill writes the next len(dst) outputs of the stream into dst. It is
+// exactly equivalent to len(dst) consecutive Uint64 calls — same values,
+// same order, same final generator state — but keeps the generator state
+// in locals across the whole run, which is what the batched hot paths
+// (Batch, the fast observer's per-agent prefetch) use to amortize
+// per-draw overhead without changing any stream.
+func (s *Source) Fill(dst []uint64) {
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	for i := range dst {
+		dst[i] = rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

@@ -111,11 +111,18 @@ func (e *aggregateExecutor) initialOnes(nonSources int) (int, error) {
 			return 0, fmt.Errorf("sim: initializer %q overwrote a source opinion", c.Init.Name())
 		}
 	}
-	return countOnes(opinions) - e.sourceOnes, nil
+	ones := 0
+	for _, o := range opinions {
+		ones += int(o)
+	}
+	return ones - e.sourceOnes, nil
 }
 
 // Ones implements roundExecutor.
 func (e *aggregateExecutor) Ones() int { return e.ones }
+
+// close implements roundExecutor (no background resources).
+func (e *aggregateExecutor) close() {}
 
 // Step implements roundExecutor.
 func (e *aggregateExecutor) Step(correct byte) error {

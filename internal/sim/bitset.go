@@ -1,0 +1,75 @@
+package sim
+
+import "math/bits"
+
+// opinionBits is the packed population opinion array: one bit per agent,
+// 64 agents per word. It replaces the []byte opinion/next buffers of the
+// agent executor — an 8× reduction in the memory the per-round sweep and
+// the literal observers touch, with the population 1-count available by
+// popcount instead of a byte-wide sum.
+//
+// Invariant: bits at indices ≥ n are always zero (zero and packFrom
+// clear them; set never addresses them), so ones can popcount whole
+// words without masking a tail.
+type opinionBits struct {
+	words []uint64
+	n     int
+}
+
+// resize shapes the bitset for n agents, reusing the backing array when
+// its capacity allows, and zeroes it.
+func (b *opinionBits) resize(n int) {
+	w := (n + 63) >> 6
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+	}
+	b.words = b.words[:w]
+	b.n = n
+	b.zero()
+}
+
+// zero clears every bit.
+func (b *opinionBits) zero() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// get returns agent i's opinion bit.
+func (b *opinionBits) get(i int) byte {
+	return byte(b.words[uint(i)>>6] >> (uint(i) & 63) & 1)
+}
+
+// set writes agent i's opinion bit. Concurrent writers must not share a
+// word: the parallel sweep aligns its shard boundaries to multiples of
+// 64 so each word has exactly one writer.
+func (b *opinionBits) set(i int, v byte) {
+	w := &b.words[uint(i)>>6]
+	m := uint64(1) << (uint(i) & 63)
+	if v != 0 {
+		*w |= m
+	} else {
+		*w &^= m
+	}
+}
+
+// ones returns the number of set bits — the population 1-count — by
+// per-word popcount.
+func (b *opinionBits) ones() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// packFrom packs the first b.n bytes of ops (each 0 or 1) into the
+// bitset, 64 at a time.
+func (b *opinionBits) packFrom(ops []byte) {
+	b.zero()
+	for i := 0; i < b.n; i++ {
+		if ops[i] != 0 {
+			b.words[uint(i)>>6] |= uint64(1) << (uint(i) & 63)
+		}
+	}
+}

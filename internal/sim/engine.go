@@ -184,7 +184,16 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer exec.close()
+	return runLoop(ctx, &c, exec)
+}
 
+// runLoop is the engine-independent round loop shared by RunContext and
+// the pooled Pool.RunContext: c must already carry defaults and exec must
+// be populated for this replicate. The caller owns the executor's
+// lifecycle (close or pool return).
+func runLoop(ctx context.Context, cfgp *Config, exec roundExecutor) (Result, error) {
+	c := *cfgp
 	n := c.N
 	correct := c.Correct
 	allCorrect := func(ones int) bool {

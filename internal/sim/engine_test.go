@@ -520,9 +520,18 @@ func TestFastObserverFallbackUndeclaredSize(t *testing.T) {
 	}
 }
 
+// bitsOf packs a byte-per-agent opinion vector into the executor's
+// bitset representation, for observer-level tests.
+func bitsOf(ops []byte) *opinionBits {
+	b := &opinionBits{}
+	b.resize(len(ops))
+	b.packFrom(ops)
+	return b
+}
+
 func TestExactObserverCounts(t *testing.T) {
 	opinions := []byte{1, 1, 1, 0, 0, 0, 0, 0} // x = 3/8
-	obs := &exactObserver{opinions: opinions, src: rng.New(4)}
+	obs := &exactObserver{ops: bitsOf(opinions), src: rng.New(4)}
 	const trials = 40000
 	sum := 0
 	for i := 0; i < trials; i++ {

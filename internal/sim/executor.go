@@ -14,8 +14,8 @@ import (
 // time, while the orchestrator keeps all protocol-independent bookkeeping.
 //
 // Implementations: the per-agent executors (exact, fast, parallel) hold
-// explicit opinion and agent arrays; the aggregate executor holds only
-// per-state occupancy counts.
+// packed opinion bitsets and agent arrays; the aggregate executor holds
+// only per-state occupancy counts.
 type roundExecutor interface {
 	// Ones returns the current number of 1-opinions across the whole
 	// population, sources included.
@@ -24,6 +24,10 @@ type roundExecutor interface {
 	// sources currently display (it can change mid-run under
 	// Config.FlipCorrectAt; the executor re-pins sources every round).
 	Step(correct byte) error
+	// close releases executor-owned background resources (the parallel
+	// engine's persistent shard workers). A closed executor must not
+	// Step again.
+	close()
 }
 
 // newRoundExecutor builds the executor selected by cfg.Engine from an
@@ -42,31 +46,69 @@ func newRoundExecutor(c *Config) (roundExecutor, error) {
 // agentExecutor advances an explicit per-agent population. It backs the
 // exact, fast, and parallel engines, which differ only in how a round's
 // observations are sampled and how the agent sweep is scheduled.
+//
+// The executor is built once and re-populated per replicate (see
+// populate and Pool): every O(n) buffer — the opinion bitsets, the
+// initializer scratch, the per-agent RNG states, the agent objects where
+// the protocol supports in-place reset, the observation graph's
+// adjacency — is reused across replicates, and the round loop itself
+// runs with zero steady-state allocations.
 type agentExecutor struct {
-	cfg      *Config
-	opinions []byte
-	next     []byte
+	cfg *Config
+	// opinions and next are the packed double-buffered population: one
+	// bit per agent, swapped after every round. Observers hold pointers
+	// to the structs (whose addresses never change), so the swap needs no
+	// observer re-aiming.
+	opinions opinionBits
+	next     opinionBits
+	// initBuf is the []byte scratch handed to Initializer.Assign — the
+	// initializer seam keeps its byte-per-agent contract (and its RNG
+	// draws) and the result is packed into the bitset once per replicate.
+	initBuf  []byte
 	isSource []bool
 	agents   []Agent
-	srcs     []*rng.Source
-	// sampleSizes are the protocol's declared CountOnes sizes, used by the
-	// fast path to pre-tabulate the round's binomial laws once.
+	// srcs holds the per-agent generators by value: one reseed per agent
+	// per replicate instead of one allocation. Agents capture &srcs[i],
+	// which stays valid for the executor's lifetime.
+	srcs []rng.Source
+	// sampleSizes are the protocol's declared CountOnes sizes; tables
+	// holds the per-round tabulated binomial laws for them, retabulated
+	// in place every round (nil on the exact and graph paths, which
+	// sample literally).
 	sampleSizes []int
+	tables      []roundTable
+	// agentsReusable reports that the agents implement AgentResetter and
+	// can be reset in place instead of reallocated per replicate. (The
+	// pool key guarantees a reused executor sees the same protocol
+	// identity.)
+	agentsReusable bool
 	// ones counts the 1-opinions in opinions (sources included).
 	ones int
 	// workers is the shard count for EngineAgentParallel (≥ 1).
 	workers int
-	// observers are the per-worker reusable observation samplers: one
+	// observers are the per-shard reusable observation samplers: one
 	// observer per shard avoids a heap allocation per agent per round
 	// without sharing mutable state across goroutines.
 	observers []reusableObserver
 	// graph is the built observation graph for non-complete topologies
 	// (nil under uniform mixing, which keeps the pre-topology fast paths
-	// byte-identical).
+	// byte-identical). It is rebuilt in place per replicate.
 	graph *topo.Graph
 	// round counts executed rounds; dynamic topologies derive their
 	// per-round rewiring streams from it.
 	round int
+
+	// Parallel scheduling state (workers > 1): persistent shard workers
+	// fed one shard index per round over work, so a parallel round costs
+	// zero goroutine spawns and zero allocations. shardLo/shardHi are
+	// word-aligned (multiples of 64) so no two shards ever read-modify-
+	// write the same bitset word.
+	shardLo, shardHi []int
+	deltas           []int
+	errs             []error
+	work             chan int
+	wg               sync.WaitGroup
+	closed           bool
 }
 
 // topoStream is the offset added to the population size to derive the
@@ -86,75 +128,26 @@ type reusableObserver interface {
 	newRound(round int, x float64, tables []roundTable)
 }
 
-// opinionReader is implemented by observers that read the live opinion
-// array and must be re-aimed after the round's double-buffer swap.
-type opinionReader interface {
-	retarget(opinions []byte)
-}
-
-func (o *exactObserver) bind(_ int, src *rng.Source)         { o.src = src }
-func (o *exactObserver) newRound(int, float64, []roundTable) {}
-func (o *exactObserver) retarget(opinions []byte)            { o.opinions = opinions }
-
-func (o *fastObserver) bind(_ int, src *rng.Source) { o.src = src }
-func (o *fastObserver) newRound(_ int, x float64, tables []roundTable) {
-	o.x = x
-	o.tables = tables
-}
-
 func newAgentExecutor(c *Config) (*agentExecutor, error) {
 	n := c.N
 	e := &agentExecutor{
-		cfg:         c,
-		opinions:    make([]byte, n),
-		next:        make([]byte, n),
+		initBuf:     make([]byte, n),
 		isSource:    make([]bool, n),
 		agents:      make([]Agent, n),
-		srcs:        make([]*rng.Source, n),
+		srcs:        make([]rng.Source, n),
 		sampleSizes: c.Protocol.SampleSizes(),
 		workers:     1,
 	}
+	e.opinions.resize(n)
+	e.next.resize(n)
 	// Sources occupy the first indices; sampling is uniform so placement
 	// is irrelevant.
 	for i := 0; i < c.Sources; i++ {
 		e.isSource[i] = true
-		e.opinions[i] = c.Correct
-	}
-
-	// Stream 0 seeds the initializer; streams 1..n seed the agents.
-	initSrc := rng.NewFrom(c.Seed, 0)
-	c.Init.Assign(e.opinions, e.isSource, initSrc)
-	for i := 0; i < c.Sources; i++ {
-		if e.opinions[i] != c.Correct {
-			return nil, fmt.Errorf("sim: initializer %q overwrote a source opinion", c.Init.Name())
-		}
-	}
-	e.ones = countOnes(e.opinions)
-
-	for i := c.Sources; i < n; i++ {
-		e.srcs[i] = rng.NewFrom(c.Seed, uint64(i)+1)
-		e.agents[i] = c.Protocol.NewAgent(e.srcs[i])
-		if c.CorruptStates {
-			if sc, ok := e.agents[i].(StateCorruptible); ok {
-				sc.CorruptState(e.srcs[i])
-			}
-		}
-		if c.StateInit != nil {
-			c.StateInit(i, e.agents[i], e.srcs[i])
-		}
 	}
 
 	if c.Engine == EngineAgentParallel {
-		e.workers = c.Parallelism
-		if e.workers == 0 {
-			e.workers = runtime.GOMAXPROCS(0)
-		}
-		if max := n - c.Sources; e.workers > max {
-			e.workers = max
-		}
-		if e.workers < 1 {
-			e.workers = 1
-		}
+		e.workers = resolvedWorkers(c)
 	}
 	if !topo.IsComplete(c.Topology) {
 		// The graph builds from its own derived stream (never touched by
@@ -167,28 +160,181 @@ func newAgentExecutor(c *Config) (*agentExecutor, error) {
 		}
 		e.graph = graph
 	}
+
+	// The tabulated-binomial fast path applies under uniform mixing on
+	// the non-exact engines; graph topologies sample neighbor opinions
+	// literally instead.
+	fastPath := c.Engine != EngineAgentExact && e.graph == nil
+	if fastPath {
+		e.tables = newRoundTables(e.sampleSizes)
+	}
+	drawsPerRound := 0
+	if fd, ok := c.Protocol.(FixedDraws); ok && fastPath {
+		if d := fd.DrawsPerRound(); d >= 1 && d <= maxFixedDraws {
+			drawsPerRound = d
+		}
+	}
+
 	e.observers = make([]reusableObserver, e.workers)
 	for w := range e.observers {
 		switch {
 		case e.graph != nil:
 			// Non-complete topology: every agent engine samples neighbor
 			// opinions literally; fast and exact coincide here.
-			e.observers[w] = &graphObserver{opinions: e.opinions, view: e.graph.NewView(), noiseEps: c.NoiseEps}
+			e.observers[w] = &graphObserver{ops: &e.opinions, view: e.graph.NewView(), noiseEps: c.NoiseEps}
 		case c.Engine == EngineAgentExact:
-			e.observers[w] = &exactObserver{opinions: e.opinions, noiseEps: c.NoiseEps}
+			e.observers[w] = &exactObserver{ops: &e.opinions, noiseEps: c.NoiseEps}
 		default:
-			e.observers[w] = &fastObserver{}
+			e.observers[w] = &fastObserver{draws: drawsPerRound}
 		}
+	}
+
+	if e.workers > 1 {
+		e.startWorkers(c)
+	}
+	if err := e.populate(c); err != nil {
+		e.close()
+		return nil, err
 	}
 	return e, nil
 }
 
-func countOnes(ops []byte) int {
-	ones := 0
-	for _, o := range ops {
-		ones += int(o)
+// resolvedWorkers returns the shard count EngineAgentParallel will use
+// for c: Parallelism, defaulted to GOMAXPROCS, capped by the non-source
+// population, floored at 1. It is part of the executor's reuse shape.
+func resolvedWorkers(c *Config) int {
+	workers := c.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return ones
+	if max := c.N - c.Sources; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// startWorkers precomputes the word-aligned shard bounds and spawns the
+// persistent shard workers. Shard boundaries affect scheduling only:
+// every agent draws from its own stream, so any partition of the
+// non-source range merges to the same population.
+func (e *agentExecutor) startWorkers(c *Config) {
+	lo, n := c.Sources, c.N
+	e.shardLo = make([]int, e.workers)
+	e.shardHi = make([]int, e.workers)
+	e.deltas = make([]int, e.workers)
+	e.errs = make([]error, e.workers)
+	prev := lo
+	for w := 0; w < e.workers; w++ {
+		hi := lo + (n-lo)*(w+1)/e.workers
+		if w < e.workers-1 {
+			// Align interior boundaries to 64 so no two shards write the
+			// same word of the packed next buffer.
+			hi = (hi + 63) &^ 63
+			if hi < prev {
+				hi = prev
+			}
+			if hi > n {
+				hi = n
+			}
+		} else {
+			hi = n
+		}
+		e.shardLo[w], e.shardHi[w] = prev, hi
+		prev = hi
+	}
+	e.work = make(chan int)
+	for w := 0; w < e.workers; w++ {
+		go func() {
+			for sh := range e.work {
+				e.deltas[sh], e.errs[sh] = e.stepShard(e.shardLo[sh], e.shardHi[sh], e.observers[sh])
+				e.wg.Done()
+			}
+		}()
+	}
+}
+
+// populate initializes the executor for one replicate of c, reusing
+// every buffer. It performs exactly the RNG consumption of a fresh
+// construction — initializer stream 0, agent streams 1..n, the
+// topology's derived stream — so a pooled replicate is bit-identical to
+// an unpooled one.
+func (e *agentExecutor) populate(c *Config) error {
+	e.cfg = c
+	e.round = 0
+	n := c.N
+
+	for i := range e.initBuf {
+		e.initBuf[i] = 0
+	}
+	for i := 0; i < c.Sources; i++ {
+		e.initBuf[i] = c.Correct
+	}
+	// Stream 0 seeds the initializer; streams 1..n seed the agents.
+	var initSrc rng.Source
+	initSrc.Reseed(rng.StreamSeed(c.Seed, 0))
+	c.Init.Assign(e.initBuf, e.isSource, &initSrc)
+	for i := 0; i < c.Sources; i++ {
+		if e.initBuf[i] != c.Correct {
+			return fmt.Errorf("sim: initializer %q overwrote a source opinion", c.Init.Name())
+		}
+	}
+	e.opinions.packFrom(e.initBuf)
+	e.next.zero()
+	e.ones = e.opinions.ones()
+
+	reuse := e.agentsReusable
+	for i := c.Sources; i < n; i++ {
+		e.srcs[i].Reseed(rng.StreamSeed(c.Seed, uint64(i)+1))
+		if reuse {
+			e.agents[i].(AgentResetter).ResetAgent()
+		} else {
+			e.agents[i] = c.Protocol.NewAgent(&e.srcs[i])
+		}
+		if c.CorruptStates {
+			if sc, ok := e.agents[i].(StateCorruptible); ok {
+				sc.CorruptState(&e.srcs[i])
+			}
+		}
+		if c.StateInit != nil {
+			c.StateInit(i, e.agents[i], &e.srcs[i])
+		}
+	}
+	if !reuse && n > c.Sources {
+		// Sources < N is validated, so at least one agent exists; all
+		// agents share the protocol's concrete type.
+		_, e.agentsReusable = e.agents[c.Sources].(AgentResetter)
+	}
+
+	if e.graph != nil {
+		want := rng.StreamSeed(c.Seed, uint64(n)+topoStream)
+		if e.graph.Seed() != want {
+			if err := topo.Rebuild(e.graph, c.Topology, n, want, e.workers); err != nil {
+				return fmt.Errorf("sim: rebuilding topology %q: %w", c.Topology.Name(), err)
+			}
+		}
+	}
+	// Per-replicate observer parameters (the shape — observer kind, view
+	// graph, draw batching — is construction-time).
+	for _, obs := range e.observers {
+		switch o := obs.(type) {
+		case *exactObserver:
+			o.noiseEps = c.NoiseEps
+		case *graphObserver:
+			o.noiseEps = c.NoiseEps
+		}
+	}
+	return nil
+}
+
+// close stops the persistent shard workers. Idempotent.
+func (e *agentExecutor) close() {
+	if e.work != nil && !e.closed {
+		e.closed = true
+		close(e.work)
+	}
 }
 
 // Ones implements roundExecutor.
@@ -203,22 +349,23 @@ func (e *agentExecutor) Step(correct byte) error {
 	// mid-run and the displayed source opinions must follow before this
 	// round's observations are drawn.
 	for i := 0; i < c.Sources; i++ {
-		if e.opinions[i] != correct {
-			e.ones += int(correct) - int(e.opinions[i])
-			e.opinions[i] = correct
+		if cur := e.opinions.get(i); cur != correct {
+			e.ones += int(correct) - int(cur)
+			e.opinions.set(i, correct)
 		}
 	}
 
 	x := float64(e.ones) / float64(n)
 	xObs := observedFraction(x, c.NoiseEps)
-	var tables []roundTable
-	if c.Engine != EngineAgentExact && e.graph == nil {
-		// The tabulated binomial law is a uniform-mixing identity; graph
-		// topologies sample neighbor opinions literally instead.
-		tables = buildRoundTables(e.sampleSizes, xObs)
+	if e.tables != nil {
+		// Retabulate the round's binomial laws in place: a uniform-mixing
+		// identity, recomputed with zero allocations.
+		for i := range e.tables {
+			e.tables[i].tab.Reset(e.tables[i].m, xObs)
+		}
 	}
 	for _, obs := range e.observers {
-		obs.newRound(e.round, xObs, tables)
+		obs.newRound(e.round, xObs, e.tables)
 	}
 
 	var onesDelta int
@@ -232,19 +379,15 @@ func (e *agentExecutor) Step(correct byte) error {
 		return err
 	}
 	for i := 0; i < c.Sources; i++ {
-		e.next[i] = correct
+		e.next.set(i, correct)
 	}
 
+	// Swap the double buffer. Observers hold &e.opinions, whose contents
+	// (not address) change, so they read the live population with no
+	// re-aiming.
 	e.opinions, e.next = e.next, e.opinions
 	e.ones += onesDelta
 	e.round++
-	// The swap moved the live population into the other backing array;
-	// re-aim the literal samplers (exact and graph observers) at it.
-	for _, o := range e.observers {
-		if r, ok := o.(opinionReader); ok {
-			r.retarget(e.opinions)
-		}
-	}
 	return nil
 }
 
@@ -255,49 +398,36 @@ func (e *agentExecutor) Step(correct byte) error {
 // engine's bit-identical determinism.
 func (e *agentExecutor) stepShard(lo, hi int, obs reusableObserver) (onesDelta int, err error) {
 	for i := lo; i < hi; i++ {
-		obs.bind(i, e.srcs[i])
-		out := e.agents[i].Step(e.opinions[i], obs)
+		obs.bind(i, &e.srcs[i])
+		cur := e.opinions.get(i)
+		out := e.agents[i].Step(cur, obs)
 		if out > 1 {
 			return 0, fmt.Errorf("sim: protocol %q produced opinion %d", e.cfg.Protocol.Name(), out)
 		}
-		e.next[i] = out
-		onesDelta += int(out) - int(e.opinions[i])
+		e.next.set(i, out)
+		onesDelta += int(out) - int(cur)
 	}
 	return onesDelta, nil
 }
 
-// stepParallel shards the non-source index range across the worker pool.
-// The shard boundaries depend only on n, Sources and the worker count;
-// every worker writes a disjoint slice of next and touches only its own
-// agents' RNG streams, so the merged result is byte-identical to the
-// sequential sweep for any worker count.
+// stepParallel hands each precomputed shard to the persistent worker
+// pool. Every worker writes a disjoint, word-aligned slice of the next
+// bitset and touches only its shard's RNG streams, so the merged result
+// is byte-identical to the sequential sweep for any worker count — and
+// the whole round performs zero allocations and zero goroutine spawns.
 func (e *agentExecutor) stepParallel() (int, error) {
-	lo := e.cfg.Sources
-	total := e.cfg.N - lo
-	deltas := make([]int, e.workers)
-	errs := make([]error, e.workers)
-
-	var wg sync.WaitGroup
+	e.wg.Add(e.workers)
 	for w := 0; w < e.workers; w++ {
-		shardLo := lo + total*w/e.workers
-		shardHi := lo + total*(w+1)/e.workers
-		if shardLo == shardHi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, shardLo, shardHi int) {
-			defer wg.Done()
-			deltas[w], errs[w] = e.stepShard(shardLo, shardHi, e.observers[w])
-		}(w, shardLo, shardHi)
+		e.work <- w
 	}
-	wg.Wait()
+	e.wg.Wait()
 
 	onesDelta := 0
 	for w := 0; w < e.workers; w++ {
-		if errs[w] != nil {
-			return 0, errs[w]
+		if e.errs[w] != nil {
+			return 0, e.errs[w]
 		}
-		onesDelta += deltas[w]
+		onesDelta += e.deltas[w]
 	}
 	return onesDelta, nil
 }

@@ -49,7 +49,7 @@ func TestNoisyExactObserverFlipRate(t *testing.T) {
 	for i := range opinions {
 		opinions[i] = 1
 	}
-	obs := &exactObserver{opinions: opinions, src: newTestSource(7), noiseEps: 0.2}
+	obs := &exactObserver{ops: bitsOf(opinions), src: newTestSource(7), noiseEps: 0.2}
 	const trials = 100000
 	ones := 0
 	for i := 0; i < trials; i++ {
@@ -88,7 +88,7 @@ func TestNoiseEnginesAgreeOnEffectiveRate(t *testing.T) {
 	for i := 0; i < 60; i++ { // x = 0.3
 		opinions[i] = 1
 	}
-	exact := &exactObserver{opinions: opinions, src: newTestSource(1), noiseEps: eps}
+	exact := &exactObserver{ops: bitsOf(opinions), src: newTestSource(1), noiseEps: eps}
 	fast := &fastObserver{x: observedFraction(0.3, eps), src: newTestSource(2)}
 	var sumExact, sumFast float64
 	for i := 0; i < trials; i++ {

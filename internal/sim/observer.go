@@ -8,14 +8,17 @@ import (
 )
 
 // exactObserver implements Observation by sampling agent indices uniformly
-// with replacement and reading their opinions — the operational definition
-// of the PULL model.
+// with replacement and reading their opinion bits — the operational
+// definition of the PULL model.
 type exactObserver struct {
-	opinions []byte
-	src      *rng.Source
+	ops *opinionBits
+	src *rng.Source
 	// noiseEps flips each observed bit independently (0 = noiseless).
 	noiseEps float64
 }
+
+func (o *exactObserver) bind(_ int, src *rng.Source)         { o.src = src }
+func (o *exactObserver) newRound(int, float64, []roundTable) {}
 
 func (o *exactObserver) CountOnes(m int) int {
 	count := 0
@@ -26,7 +29,7 @@ func (o *exactObserver) CountOnes(m int) int {
 }
 
 func (o *exactObserver) Sample() byte {
-	b := o.opinions[o.src.Intn(len(o.opinions))]
+	b := o.ops.get(o.src.Intn(o.ops.n))
 	if o.noiseEps > 0 && o.src.Bernoulli(o.noiseEps) {
 		return 1 - b
 	}
@@ -43,35 +46,89 @@ func observedFraction(x, eps float64) float64 {
 	return x*(1-eps) + (1-x)*eps
 }
 
+// maxFixedDraws bounds the fast observer's per-agent prefetch buffer; a
+// FixedDraws protocol declaring more draws per round falls back to the
+// unbatched path.
+const maxFixedDraws = 8
+
 // fastObserver implements Observation by drawing counts directly from
 // Binomial(m, x_t): under passive communication, observing m uniform
 // agents with replacement reveals exactly a Binomial(m, x_t) count of
 // 1-opinions, so this is distributionally identical to exactObserver.
+//
+// For FixedDraws protocols (draws > 0), bind prefetches the agent's
+// whole round of stream outputs in one bulk rng.Source.Fill and the
+// sampling calls consume them in order. Because a tabulated Sample
+// consumes exactly one output per call, the consumed values — and the
+// agent stream's state after the round — are bit-identical to the
+// unbatched per-draw path.
 type fastObserver struct {
 	x      float64 // current fraction of 1-opinions
 	tables []roundTable
 	src    *rng.Source
+	// draws is the protocol's declared per-round stream consumption
+	// (0 disables batching).
+	draws     int
+	pos, have int
+	buf       [maxFixedDraws]uint64
 }
 
 // roundTable caches one Binomial(m, x_t) inverse-CDF table for the round.
+// The executor owns the tables and retabulates them in place per round.
 type roundTable struct {
 	m   int
 	tab *rng.BinomialCDF
 }
 
+func (o *fastObserver) bind(_ int, src *rng.Source) {
+	o.src = src
+	if o.draws > 0 {
+		src.Fill(o.buf[:o.draws])
+		o.pos, o.have = 0, o.draws
+	}
+}
+
+func (o *fastObserver) newRound(_ int, x float64, tables []roundTable) {
+	o.x = x
+	o.tables = tables
+	o.pos, o.have = 0, 0
+}
+
 func (o *fastObserver) CountOnes(m int) int {
-	for _, t := range o.tables {
-		if t.m == m {
+	for i := range o.tables {
+		if t := &o.tables[i]; t.m == m {
+			if o.pos < o.have {
+				u := rng.UnitFloat(o.buf[o.pos])
+				o.pos++
+				return t.tab.SampleU(u)
+			}
 			return t.tab.Sample(o.src)
 		}
 	}
 	// Sample size not pre-declared by the protocol: fall back to a direct
-	// draw, which is exact but slower.
+	// draw, which is exact but slower. (A FixedDraws protocol never takes
+	// this path — its contract is that every CountOnes size is declared.)
 	return o.src.Binomial(m, o.x)
 }
 
 func (o *fastObserver) Sample() byte {
-	if o.src.Bernoulli(o.x) {
+	// Mirrors Source.Bernoulli(x) exactly, including consuming no stream
+	// output when x is outside (0, 1), but reads any prefetched value
+	// first.
+	if o.x <= 0 {
+		return OpinionZero
+	}
+	if o.x >= 1 {
+		return OpinionOne
+	}
+	var u float64
+	if o.pos < o.have {
+		u = rng.UnitFloat(o.buf[o.pos])
+		o.pos++
+	} else {
+		u = o.src.Float64()
+	}
+	if u < o.x {
 		return OpinionOne
 	}
 	return OpinionZero
@@ -79,15 +136,15 @@ func (o *fastObserver) Sample() byte {
 
 // graphObserver implements Observation on a non-complete topology: it
 // draws uniform (with replacement) out-neighbors of the bound agent
-// through a per-worker topo.View and reads their current opinions — the
-// operational PULL definition restricted to the observation graph. The
-// binomial shortcut of fastObserver is a uniform-mixing identity and
+// through a per-worker topo.View and reads their current opinion bits —
+// the operational PULL definition restricted to the observation graph.
+// The binomial shortcut of fastObserver is a uniform-mixing identity and
 // does not apply here, so every agent engine shares this literal path on
 // sparse topologies; the agent's own RNG stream drives the draws, which
 // is what keeps the sharded parallel sweep bit-identical to the
 // sequential one.
 type graphObserver struct {
-	opinions []byte
+	ops      *opinionBits
 	view     *topo.View
 	src      *rng.Source
 	noiseEps float64
@@ -102,8 +159,6 @@ func (o *graphObserver) newRound(round int, _ float64, _ []roundTable) {
 	o.view.NewRound(round)
 }
 
-func (o *graphObserver) retarget(opinions []byte) { o.opinions = opinions }
-
 func (o *graphObserver) CountOnes(m int) int {
 	count := 0
 	for i := 0; i < m; i++ {
@@ -113,22 +168,33 @@ func (o *graphObserver) CountOnes(m int) int {
 }
 
 func (o *graphObserver) Sample() byte {
-	b := o.opinions[o.view.Next(o.src)]
+	b := o.ops.get(o.view.Next(o.src))
 	if o.noiseEps > 0 && o.src.Bernoulli(o.noiseEps) {
 		return 1 - b
 	}
 	return b
 }
 
-// buildRoundTables tabulates the binomial laws for the protocol's declared
-// sample sizes at the current opinion fraction.
-func buildRoundTables(sizes []int, x float64) []roundTable {
+// newRoundTables validates the protocol's declared sample sizes and
+// allocates their reusable inverse-CDF tables, tabulated lazily by the
+// round loop's in-place Reset calls.
+func newRoundTables(sizes []int) []roundTable {
 	tables := make([]roundTable, 0, len(sizes))
 	for _, m := range sizes {
 		if m < 0 {
 			panic(fmt.Sprintf("sim: protocol declared negative sample size %d", m))
 		}
-		tables = append(tables, roundTable{m: m, tab: rng.NewBinomialCDF(m, x)})
+		tables = append(tables, roundTable{m: m, tab: &rng.BinomialCDF{}})
+	}
+	return tables
+}
+
+// buildRoundTables tabulates the binomial laws for the protocol's
+// declared sample sizes at the current opinion fraction.
+func buildRoundTables(sizes []int, x float64) []roundTable {
+	tables := newRoundTables(sizes)
+	for i := range tables {
+		tables[i].tab.Reset(tables[i].m, x)
 	}
 	return tables
 }

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"passivespread/internal/topo"
+)
+
+// poolKey is an executor's reuse shape: two configs with equal keys can
+// share an executor via populate. Everything else a replicate varies —
+// seed, correct opinion, initializer, noise, corruption hooks, round
+// caps, observers — is (re)applied per lease by populate and the
+// orchestrator.
+type poolKey struct {
+	engine             EngineKind
+	n, sources, shards int
+	protocol           string
+	topology           string
+}
+
+// Pool reuses agent executors — and with them every O(n) replicate
+// buffer: the packed opinion bitsets, the initializer scratch, the
+// per-agent RNG states, resettable agent objects, the observation
+// graph's adjacency and its per-worker View row buffers, and the
+// parallel engine's persistent shard workers — across replicates that
+// share a shape. Batch runners (Study, and Sweep through its per-cell
+// Studies) lease an executor per replicate instead of rebuilding one,
+// which removes the per-replicate allocation storm at large n while
+// keeping results bit-identical: populate replays exactly the RNG
+// consumption of a fresh construction.
+//
+// A Pool is safe for concurrent use. Call Release when a batch
+// finishes: it drops the idle executors and stops their persistent
+// workers (leaked otherwise for EngineAgentParallel). The Pool remains
+// usable after Release.
+type Pool struct {
+	mu   sync.Mutex
+	free map[poolKey][]*agentExecutor
+}
+
+// NewPool returns an empty executor pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[poolKey][]*agentExecutor)}
+}
+
+// RunContext is RunContext with executor reuse: it leases a pooled
+// executor matching cfg's shape (building one on a miss), runs the
+// replicate, and returns the executor to the pool. Results are
+// bit-identical to the unpooled path. A nil *Pool degrades to plain
+// RunContext. Engines without per-agent state (EngineAggregate) run
+// unpooled — their setup is O(ℓ), not O(n).
+func (p *Pool) RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if p == nil {
+		return RunContext(ctx, cfg)
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if c.Engine == EngineAggregate {
+		exec, err := newAggregateExecutor(&c)
+		if err != nil {
+			return Result{}, err
+		}
+		defer exec.close()
+		return runLoop(ctx, &c, exec)
+	}
+
+	key := poolKey{
+		engine:   c.Engine,
+		n:        c.N,
+		sources:  c.Sources,
+		protocol: c.Protocol.Name(),
+		topology: topo.DisplayName(c.Topology),
+		shards:   1,
+	}
+	if c.Engine == EngineAgentParallel {
+		key.shards = resolvedWorkers(&c)
+	}
+
+	e := p.get(key)
+	if e == nil {
+		e, err = newAgentExecutor(&c)
+	} else {
+		err = e.populate(&c)
+	}
+	if err != nil {
+		if e != nil {
+			e.close()
+		}
+		return Result{}, err
+	}
+	res, runErr := runLoop(ctx, &c, e)
+	e.cfg = nil // do not retain the lease's Config across idle periods
+	p.put(key, e)
+	return res, runErr
+}
+
+func (p *Pool) get(key poolKey) *agentExecutor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	frees := p.free[key]
+	if len(frees) == 0 {
+		return nil
+	}
+	e := frees[len(frees)-1]
+	p.free[key] = frees[:len(frees)-1]
+	return e
+}
+
+func (p *Pool) put(key poolKey, e *agentExecutor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free[key] = append(p.free[key], e)
+}
+
+// Release closes and drops every idle executor. Executors leased at call
+// time are unaffected — they return to the pool when their replicate
+// finishes and are freed by the next Release.
+func (p *Pool) Release() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, frees := range p.free {
+		for _, e := range frees {
+			e.close()
+		}
+		delete(p.free, key)
+	}
+}

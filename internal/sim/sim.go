@@ -91,6 +91,30 @@ type Initializer interface {
 	Assign(opinions []byte, isSource []bool, src *rng.Source)
 }
 
+// FixedDraws is implemented by protocols whose agents consume exactly
+// DrawsPerRound outputs from their RNG stream per round on the
+// tabulated fast path — i.e. every Step makes exactly that many
+// CountOnes calls, each with a size declared in SampleSizes, and no
+// Sample calls. The fast observer then prefetches each agent's whole
+// round of draws in one bulk fill (rng.Source.Fill) instead of drawing
+// one value at a time; because a tabulated CountOnes consumes exactly
+// one output per call, every consuming call reads the same value it
+// would have drawn itself and the stream stays bit-identical to the
+// unbatched path. FET declares 2, SimpleTrend 1.
+type FixedDraws interface {
+	DrawsPerRound() int
+}
+
+// AgentResetter is implemented by agents that can be restored to their
+// protocol's fresh (post-NewAgent) state in place. Pooled executors
+// reset such agents across replicates instead of reallocating n of
+// them; agents without it are rebuilt via Protocol.NewAgent each
+// replicate. Adversarial state corruption and StateInit hooks run after
+// the reset, exactly as they run after construction.
+type AgentResetter interface {
+	ResetAgent()
+}
+
 // StateCorruptible is implemented by agents whose internal memory can be
 // set adversarially before round 0. Self-stabilization demands correctness
 // from arbitrary internal states, so experiments exercising worst cases

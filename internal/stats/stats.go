@@ -94,11 +94,27 @@ func SummarizeConvergence(times []float64, converged []bool) Convergence {
 	return c
 }
 
+// quantileTol is the slack Quantile allows around the [0, 1] boundary:
+// callers that build quantile grids with float steps (q = i·Δ for
+// Δ = 1/k) routinely land a hair outside the interval through rounding
+// (e.g. 20×0.05 = 1.0000000000000002), which is a representation
+// artifact, not a caller bug.
+const quantileTol = 1e-12
+
 // Quantile returns the q-quantile of xs (linear interpolation between
-// order statistics). It panics on an empty sample or q outside [0, 1].
+// order statistics). Values of q within quantileTol of 0 or 1 are
+// clamped onto the boundary — float-stepped quantile grids overshoot the
+// endpoints by an ulp or two — while q genuinely outside [0, 1] (or NaN)
+// still panics.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 && q >= -quantileTol {
+		q = 0
+	}
+	if q > 1 && q <= 1+quantileTol {
+		q = 1
 	}
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		panic(fmt.Sprintf("stats: Quantile with q = %v", q))

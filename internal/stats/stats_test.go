@@ -82,6 +82,48 @@ func TestQuantilePanics(t *testing.T) {
 	}()
 }
 
+// TestQuantileClampsFloatSteppedBoundaries: quantile grids built with
+// float steps land an ulp outside [0, 1] (e.g. 20 steps of 0.05
+// accumulate to 1.0000000000000002); such values must clamp to the
+// boundary instead of panicking, while q beyond the 1e-12 tolerance
+// still panics.
+func TestQuantileClampsFloatSteppedBoundaries(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+
+	// A real float-stepped grid endpoint: 20 × 0.05 > 1.
+	over := 0.0
+	for i := 0; i < 20; i++ {
+		over += 0.05
+	}
+	if over <= 1 {
+		t.Fatalf("grid endpoint %v does not overshoot; pick another step", over)
+	}
+	if got := Quantile(xs, over); got != 4 {
+		t.Fatalf("Quantile(%v) = %v, want the max 4", over, got)
+	}
+	if got := Quantile(xs, math.Nextafter(0, -1)); got != 1 {
+		t.Fatalf("Quantile(-ulp) = %v, want the min 1", got)
+	}
+	if got := Quantile(xs, 1+1e-12); got != 4 {
+		t.Fatalf("Quantile(1+1e-12) = %v, want 4", got)
+	}
+	if got := Quantile(xs, -1e-12); got != 1 {
+		t.Fatalf("Quantile(-1e-12) = %v, want 1", got)
+	}
+
+	// Outside the tolerance the panic contract stands.
+	for _, q := range []float64{1 + 1e-11, -1e-11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(q=%v) did not panic", q)
+				}
+			}()
+			Quantile(xs, q)
+		}()
+	}
+}
+
 func TestQuantileMonotoneProperty(t *testing.T) {
 	src := rng.New(1)
 	f := func(seed uint16) bool {

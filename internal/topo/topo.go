@@ -132,12 +132,13 @@ func (r ring) Validate(n int) error {
 }
 
 func (r ring) Build(n int, seed uint64, workers int) (*Graph, error) {
-	if err := r.Validate(n); err != nil {
-		return nil, err
-	}
-	return buildRows(n, 2*r.k, seed, workers, func(i int, _ *rng.Source, row []int32) {
+	return build(r, n, seed, workers)
+}
+
+func (r ring) rowSpec(n int) rowSpec {
+	return rowSpec{deg: 2 * r.k, fill: func(i int, _ *rng.Batch, row []int32) {
 		fillRingRow(i, n, r.k, row)
-	}, nil), nil
+	}}
 }
 
 // fillRingRow writes agent i's ring neighbors: offsets ±1..±k.
@@ -174,17 +175,18 @@ func (torus) Validate(n int) error {
 }
 
 func (t torus) Build(n int, seed uint64, workers int) (*Graph, error) {
-	if err := t.Validate(n); err != nil {
-		return nil, err
-	}
+	return build(t, n, seed, workers)
+}
+
+func (t torus) rowSpec(n int) rowSpec {
 	s := isqrt(n)
-	return buildRows(n, 4, seed, workers, func(i int, _ *rng.Source, row []int32) {
+	return rowSpec{deg: 4, fill: func(i int, _ *rng.Batch, row []int32) {
 		r, c := i/s, i%s
 		row[0] = int32(((r+1)%s)*s + c)   // down
 		row[1] = int32(((r-1+s)%s)*s + c) // up
 		row[2] = int32(r*s + (c+1)%s)     // right
 		row[3] = int32(r*s + (c-1+s)%s)   // left
-	}, nil), nil
+	}}
 }
 
 func isqrt(n int) int {
@@ -228,18 +230,21 @@ func (r randomRegular) Validate(n int) error {
 }
 
 func (r randomRegular) Build(n int, seed uint64, workers int) (*Graph, error) {
-	if err := r.Validate(n); err != nil {
-		return nil, err
-	}
-	return buildRows(n, r.k, seed, workers, func(i int, src *rng.Source, row []int32) {
+	return build(r, n, seed, workers)
+}
+
+func (r randomRegular) rowSpec(n int) rowSpec {
+	return rowSpec{deg: r.k, fill: func(i int, src *rng.Batch, row []int32) {
 		fillKOutRowN(i, n, src, row)
-	}, nil), nil
+	}}
 }
 
 // fillKOutRowN samples len(row) distinct non-self agent indices in [0, n)
 // from src, by rejection of self and duplicates; rows are short
-// (k = O(log n) in practice), so the duplicate scan is cheap.
-func fillKOutRowN(i, n int, src *rng.Source, row []int32) {
+// (k = O(log n) in practice), so the duplicate scan is cheap. Draws come
+// through a rng.Batch — one bulk Uint64 fill per chunk instead of a call
+// per index — consuming exactly the values a per-draw loop would.
+func fillKOutRowN(i, n int, src *rng.Batch, row []int32) {
 	for j := range row {
 	draw:
 		for {
@@ -294,10 +299,11 @@ func (s smallWorld) Validate(n int) error {
 }
 
 func (s smallWorld) Build(n int, seed uint64, workers int) (*Graph, error) {
-	if err := s.Validate(n); err != nil {
-		return nil, err
-	}
-	return buildRows(n, 2*s.k, seed, workers, func(i int, src *rng.Source, row []int32) {
+	return build(s, n, seed, workers)
+}
+
+func (s smallWorld) rowSpec(n int) rowSpec {
+	return rowSpec{deg: 2 * s.k, fill: func(i int, src *rng.Batch, row []int32) {
 		fillRingRow(i, n, s.k, row)
 		for j := range row {
 			if !src.Bernoulli(s.beta) {
@@ -318,7 +324,7 @@ func (s smallWorld) Build(n int, seed uint64, workers int) (*Graph, error) {
 				break
 			}
 		}
-	}, nil), nil
+	}}
 }
 
 // dynamicRewire is the per-round resampled k-out digraph.
@@ -356,13 +362,14 @@ func (d dynamicRewire) Validate(n int) error {
 }
 
 func (d dynamicRewire) Build(n int, seed uint64, workers int) (*Graph, error) {
-	if err := d.Validate(n); err != nil {
-		return nil, err
-	}
+	return build(d, n, seed, workers)
+}
+
+func (d dynamicRewire) rowSpec(n int) rowSpec {
 	dd := d
-	return buildRows(n, d.k, seed, workers, func(i int, src *rng.Source, row []int32) {
+	return rowSpec{deg: d.k, fill: func(i int, src *rng.Batch, row []int32) {
 		fillKOutRowN(i, n, src, row)
-	}, &dd), nil
+	}, dyn: &dd}
 }
 
 // Graph is a built observation graph: a flat out-adjacency array with
@@ -389,19 +396,84 @@ func (g *Graph) Base(i int) []int32 { return g.adj[i*g.deg : (i+1)*g.deg] }
 // Dynamic reports whether rows are resampled per round.
 func (g *Graph) Dynamic() bool { return g.dyn != nil }
 
-// buildRows constructs the flat adjacency, sharding rows across up to
-// workers goroutines. fill writes agent i's row using a Source seeded
-// with StreamSeed(seed, i) — per-row streams are what make the sharded
-// construction byte-identical to the sequential one.
-func buildRows(n, deg int, seed uint64, workers int,
-	fill func(i int, src *rng.Source, row []int32), dyn *dynamicRewire) *Graph {
-	g := &Graph{n: n, deg: deg, adj: make([]int32, n*deg), seed: seed, dyn: dyn}
+// Seed returns the seed the current rows were built from (updated by
+// Rebuild).
+func (g *Graph) Seed() uint64 { return g.seed }
+
+// rowSpec is a graph topology's row construction recipe: the uniform
+// out-degree, the per-row fill function, and the dynamic-rewire rule
+// when rows are resampled per round. Every built-in graph topology
+// exposes one through the rowTopology interface, which is what lets
+// graphs be rebuilt in place for a new seed (Rebuild) instead of
+// reallocated per replicate.
+type rowSpec struct {
+	deg  int
+	fill func(i int, src *rng.Batch, row []int32)
+	dyn  *dynamicRewire
+}
+
+// rowTopology is implemented by graph topologies built from per-row
+// streams via the shared fillRows path.
+type rowTopology interface {
+	Topology
+	rowSpec(n int) rowSpec
+}
+
+// build validates and constructs a fresh graph from t's row spec.
+func build(t rowTopology, n int, seed uint64, workers int) (*Graph, error) {
+	if err := t.Validate(n); err != nil {
+		return nil, err
+	}
+	spec := t.rowSpec(n)
+	g := &Graph{n: n, deg: spec.deg, adj: make([]int32, n*spec.deg), seed: seed, dyn: spec.dyn}
+	g.fillRows(spec.fill, workers)
+	return g, nil
+}
+
+// Rebuild refills an existing graph's adjacency in place for a new seed,
+// reusing the O(n·deg) backing array. t must be the topology g was built
+// from (same shape: population, degree, rewire rule); Views over g stay
+// valid and observe the new rows. This is the executor-pooling fast
+// path: per replicate the topology seed changes but the shape never
+// does.
+func Rebuild(g *Graph, t Topology, n int, seed uint64, workers int) error {
+	rt, ok := t.(rowTopology)
+	if !ok {
+		return fmt.Errorf("topo: topology %q cannot be rebuilt in place", DisplayName(t))
+	}
+	if err := t.Validate(n); err != nil {
+		return err
+	}
+	spec := rt.rowSpec(n)
+	if g.n != n || g.deg != spec.deg {
+		return fmt.Errorf("topo: Rebuild shape mismatch: graph is %d×%d, topology %q wants %d×%d",
+			g.n, g.deg, t.Name(), n, spec.deg)
+	}
+	if (g.dyn == nil) != (spec.dyn == nil) || (g.dyn != nil && *g.dyn != *spec.dyn) {
+		return fmt.Errorf("topo: Rebuild rewire-rule mismatch for topology %q", t.Name())
+	}
+	g.seed = seed
+	g.fillRows(spec.fill, workers)
+	return nil
+}
+
+// fillRows writes every row of the flat adjacency, sharding rows across
+// up to workers goroutines. Agent i's row derives from a Source seeded
+// with StreamSeed(g.seed, i) — per-row streams are what make the sharded
+// construction byte-identical to the sequential one — and each worker
+// consumes its streams through a rng.Batch, generating outputs in bulk
+// chunks instead of one call per draw. Leftover pre-generated values are
+// discarded at the next row's reseed, which is unobservable: each row's
+// stream is never read again.
+func (g *Graph) fillRows(fill func(i int, src *rng.Batch, row []int32), workers int) {
+	n, deg, seed := g.n, g.deg, g.seed
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > n {
 		workers = n
 	}
+	chunk := deg + 1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
@@ -412,14 +484,16 @@ func buildRows(n, deg int, seed uint64, workers int,
 		go func(lo, hi int) {
 			defer wg.Done()
 			var src rng.Source
+			var batch rng.Batch
+			batch.Init(&src, chunk)
 			for i := lo; i < hi; i++ {
 				src.Reseed(rng.StreamSeed(seed, uint64(i)))
-				fill(i, &src, g.adj[i*deg:(i+1)*deg])
+				batch.Reset()
+				fill(i, &batch, g.adj[i*deg:(i+1)*deg])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	return g
 }
 
 // View is a per-worker read handle over a Graph: it owns the scratch row
@@ -430,12 +504,15 @@ type View struct {
 	row     []int32
 	scratch []int32
 	src     rng.Source // rewire-decision stream, reseeded per (round, agent)
+	batch   rng.Batch  // bulk consumer over src for row resampling
 	round   int
 }
 
 // NewView returns a fresh read handle over the graph.
 func (g *Graph) NewView() *View {
-	return &View{g: g, scratch: make([]int32, g.deg)}
+	v := &View{g: g, scratch: make([]int32, g.deg)}
+	v.batch.Init(&v.src, g.deg)
+	return v
 }
 
 // NewRound installs the round number; dynamic topologies derive their
@@ -458,7 +535,12 @@ func (v *View) Bind(agent int) {
 		v.row = base
 		return
 	}
-	fillKOutRowN(agent, v.g.n, &v.src, v.scratch)
+	// Resample the row through the batch: the deg-ish draws arrive in one
+	// bulk fill, consuming exactly the values the per-draw loop would,
+	// and any pre-generated leftovers die with this (round, agent) stream
+	// at the next reseed.
+	v.batch.Reset()
+	fillKOutRowN(agent, v.g.n, &v.batch, v.scratch)
 	v.row = v.scratch
 }
 

@@ -95,6 +95,13 @@ type Study struct {
 	rootSeed   uint64
 	observe    func(replicate int) []Observer
 
+	// pool leases per-replicate round executors: every O(n) buffer (the
+	// packed opinion bitsets, per-agent RNG states, resettable agent
+	// objects, topology adjacency and View scratch) is reused across the
+	// study's replicates instead of reallocated, with bit-identical
+	// results. Idle executors are released when a Run/Stream finishes.
+	pool *sim.Pool
+
 	// Agent-level template (nil chain fields), or chain parameters.
 	cfg   Config
 	chain bool
@@ -136,6 +143,7 @@ func NewStudy(spec StudySpec) (*Study, error) {
 		if err := s.cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 		}
+		s.pool = sim.NewPool()
 		return s, nil
 	}
 
@@ -151,6 +159,7 @@ func NewStudy(spec StudySpec) (*Study, error) {
 	}
 	s.cfg = cfg
 	s.rootSeed = spec.Options.Seed
+	s.pool = sim.NewPool()
 	return s, nil
 }
 
@@ -263,8 +272,18 @@ func (s *Study) Stream(ctx context.Context) <-chan RunResult {
 		}
 		close(indices)
 		wg.Wait()
+		// All leases are back: free the pooled executors (and stop the
+		// parallel engine's persistent shard workers).
+		s.release()
 	}()
 	return out
+}
+
+// release drops the study's idle pooled executors.
+func (s *Study) release() {
+	if s.pool != nil {
+		s.pool.Release()
+	}
 }
 
 // Run executes every replicate across the worker pool and aggregates the
@@ -320,6 +339,7 @@ func censorConvergence(results []RunResult) (times []float64, converged []bool) 
 // runSingle backs the Disseminate/Run compatibility wrappers: replicate 0
 // executed inline, with its error unwrapped.
 func (s *Study) runSingle(ctx context.Context) (Result, error) {
+	defer s.release()
 	r := s.runReplicate(ctx, 0)
 	return r.Result, r.Err
 }
@@ -339,7 +359,7 @@ func (s *Study) runReplicate(ctx context.Context, i int) RunResult {
 		// never shared across concurrently running replicates.
 		cfg.Observers = append(append([]Observer(nil), cfg.Observers...), s.observe(i)...)
 	}
-	rr.Result, rr.Err = sim.RunContext(ctx, cfg)
+	rr.Result, rr.Err = s.pool.RunContext(ctx, cfg)
 	return rr
 }
 

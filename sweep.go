@@ -148,6 +148,14 @@ type sweepCell struct {
 	params ScenarioParams
 }
 
+// release frees the cell study's pooled executors once the cell's last
+// replicate has been aggregated (or the sweep was cancelled).
+func (c *sweepCell) release() {
+	if c.study != nil {
+		c.study.release()
+	}
+}
+
 // runReplicate executes replicate i of the cell with its derived seed.
 func (c *sweepCell) runReplicate(ctx context.Context, i int) RunResult {
 	if c.study != nil {
@@ -477,6 +485,10 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 			}
 			row, ok := s.row(cell, pending[cell])
 			pending[cell] = nil
+			// The cell's last replicate returned its leased executor
+			// before its result was delivered, so the cell's pooled
+			// buffers can be freed as the grid progresses.
+			s.cells[cell].release()
 			if !ok {
 				continue // interrupted mid-run; drop, don't misreport
 			}
@@ -486,6 +498,11 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 				// The consumer may be gone; keep draining results so the
 				// workers can exit.
 			}
+		}
+		// Cancellation can leave interrupted cells with leased-and-
+		// returned executors; every worker has exited, so sweep them all.
+		for i := range s.cells {
+			s.cells[i].release()
 		}
 	}()
 	return out
