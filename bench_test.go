@@ -155,13 +155,17 @@ func BenchmarkEngineRound(b *testing.B) {
 // BENCH_topology.json and are gated by the benchgate CI job.
 func BenchmarkTopologyStep(b *testing.B) {
 	topologies := []struct {
-		name string
-		tp   Topology
+		name   string
+		tp     Topology
+		engine EngineKind
 	}{
-		{"complete", nil},
-		{"random-regular", RandomRegular(8)},
-		{"small-world", SmallWorld(4, 0.1)},
-		{"dynamic", DynamicRewire(8, 0.2)},
+		{"complete", nil, EngineAgentFast},
+		{"random-regular", RandomRegular(8), EngineAgentFast},
+		{"small-world", SmallWorld(4, 0.1), EngineAgentFast},
+		{"dynamic", DynamicRewire(8, 0.2), EngineAgentFast},
+		// The occupancy-level sparse engine on the same random k-out
+		// graph: per-round cost is O(k·ℓ²), independent of n.
+		{"aggregate-sparse", RandomRegular(8), EngineAggregateSparse},
 	}
 	n := 10_000 // 100²: admissible for every built-in topology
 	for _, tc := range topologies {
@@ -172,6 +176,7 @@ func BenchmarkTopologyStep(b *testing.B) {
 				Protocol:  NewFET(ell),
 				Init:      FractionInit(0.5),
 				Correct:   OpinionOne,
+				Engine:    tc.engine,
 				Topology:  tc.tp,
 				Seed:      1,
 				MaxRounds: b.N,
@@ -205,9 +210,14 @@ func BenchmarkReplicateAlloc(b *testing.B) {
 		name string
 		kind EngineKind
 		par  int
+		tp   Topology
 	}{
-		{"fast", EngineAgentFast, 0},
-		{"parallel", EngineAgentParallel, 4},
+		{"fast", EngineAgentFast, 0, nil},
+		{"parallel", EngineAgentParallel, 4, nil},
+		// The frozen-graph fused path: per-agent packed rows, bind-time
+		// whole-round popcounts and deferred homogeneous-round jumps must
+		// all stay allocation-free in the steady state.
+		{"fast-random-regular", EngineAgentFast, 0, RandomRegular(8)},
 	}
 	n := 16384
 	for _, eng := range engines {
@@ -221,6 +231,7 @@ func BenchmarkReplicateAlloc(b *testing.B) {
 				Correct:     OpinionOne,
 				Engine:      eng.kind,
 				Parallelism: eng.par,
+				Topology:    eng.tp,
 				Seed:        1,
 				MaxRounds:   b.N,
 				RunToEnd:    true,

@@ -56,7 +56,8 @@ func main() {
 			fmt.Printf("%-24s %s\n", tp.Spec, tp.Description)
 		}
 		fmt.Println("\nuse with `fetsim -topology <spec>` or `fetsweep -topologies <spec,...>`;")
-		fmt.Println("agent engines only (aggregate and chain are exact only under uniform mixing)")
+		fmt.Println("agent engines, plus aggregate-sparse for the degree-annealed entries")
+		fmt.Println("(random-regular, dynamic); aggregate and chain need uniform mixing")
 		return
 	}
 

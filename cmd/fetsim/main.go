@@ -10,12 +10,16 @@
 //	fetsim -n 4096 -replicates 100 [-jobs 8]
 //	fetsim -n 1000000000 -engine chain -replicates 50
 //	fetsim -n 4096 -topology small-world:4:0.1 [-replicates 20]
+//	fetsim -n 100000000 -engine aggregate-sparse -topology random-regular:8
 //	fetsim -n 1024 -topology ring:2 -trajectory
 //
 // -topology selects the observation topology (default complete, the
 // paper's uniform mixing): ring[:k], torus, random-regular[:k],
 // small-world[:k[:beta]] or dynamic[:k[:p]]. Non-complete topologies
-// run on the agent engines (fast, exact, parallel) only.
+// run on the agent engines (fast, exact, parallel), plus
+// aggregate-sparse for the degree-annealed ones (random-regular,
+// dynamic), which reaches n = 10⁸ the way aggregate does under
+// uniform mixing.
 package main
 
 import (
@@ -39,7 +43,7 @@ func main() {
 		sources    = flag.Int("sources", 1, "number of agreeing sources")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		rounds     = flag.Int("rounds", 0, "round cap (0 = 400·log₂ n)")
-		engine     = flag.String("engine", "fast", "engine: fast, exact, parallel, aggregate or chain")
+		engine     = flag.String("engine", "fast", "engine: fast, exact, parallel, aggregate, aggregate-sparse or chain")
 		topology   = flag.String("topology", "complete", "observation topology: complete, ring[:k], torus, random-regular[:k], small-world[:k[:beta]], dynamic[:k[:p]]")
 		workers    = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
 		replicates = flag.Int("replicates", 1, "number of replicate runs (a study when > 1)")

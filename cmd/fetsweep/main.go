@@ -15,13 +15,16 @@
 //
 // -topologies selects the observation topologies (default complete, the
 // paper's uniform mixing); non-complete entries run on the agent
-// engines only and answer "does FET's trend-following survive sparse
-// structure?" as a sweepable axis.
+// engines (plus aggregate-sparse for random-regular and dynamic) and
+// answer "does FET's trend-following survive sparse structure?" as a
+// sweepable axis.
 //
 // -engines selects the executors: fast (sequential agent engine),
 // parallel (sharded agent engine), aggregate (occupancy-vector engine),
-// or chain (the (K_t, K_{t+1}) Markov chain). aggregate and chain scale
-// to populations of hundreds of millions; -chain is kept as an alias
+// aggregate-sparse (its degree-annealed analogue for random-regular and
+// dynamic topologies), or chain (the (K_t, K_{t+1}) Markov chain).
+// aggregate, aggregate-sparse and chain scale to populations of
+// hundreds of millions; -chain is kept as an alias
 // for -engines chain. -scenarios names presets from the scenario
 // registry (list them with `fetlab -scenarios`).
 //
@@ -46,7 +49,7 @@ func main() {
 	var (
 		nsFlag     = flag.String("ns", "256,1024,4096,16384,65536", "comma-separated population sizes")
 		ellsFlag   = flag.String("ells", "", "comma-separated per-half sample sizes (0 or empty = ⌈c·log₂ n⌉)")
-		engines    = flag.String("engines", "fast", "comma-separated engines: fast, exact, parallel, aggregate, chain")
+		engines    = flag.String("engines", "fast", "comma-separated engines: fast, exact, parallel, aggregate, aggregate-sparse, chain")
 		topologies = flag.String("topologies", "complete", "comma-separated observation topologies: complete, ring[:k], torus, random-regular[:k], small-world[:k[:beta]], dynamic[:k[:p]]")
 		scenarios  = flag.String("scenarios", passivespread.DefaultScenario, "comma-separated scenario names (see `fetlab -scenarios`)")
 		trials     = flag.Int("trials", 40, "replicates per grid cell")

@@ -1,0 +1,170 @@
+package passivespread
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"passivespread/internal/stats"
+)
+
+// censoredConvergenceSample collects t_con over independent seeds for
+// one engine on a topology, censoring non-converged runs at the round
+// cap (mirroring E16's fetTrial): near-critical sparse cells need not
+// converge on every seed, and censoring keeps those runs comparable
+// instead of aborting the sample.
+func censoredConvergenceSample(t *testing.T, engine EngineKind, tp Topology, n, trials, cap int, seedBase uint64) []float64 {
+	t.Helper()
+	out := make([]float64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		res, err := Disseminate(Options{
+			N:         n,
+			Seed:      seedBase + uint64(trial),
+			Engine:    engine,
+			Topology:  tp,
+			MaxRounds: cap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged {
+			out = append(out, float64(res.Round))
+		} else {
+			out = append(out, float64(cap))
+		}
+	}
+	return out
+}
+
+// TestSparseAggregateEngineMatchesAgentLevelKS: the sparse occupancy
+// engine must sample the same convergence-time distribution as the
+// agent-level engine on the topology it models exactly — the fully
+// rewired random k-out digraph (DynamicRewire(k, 1) redraws every row
+// every round, which is precisely the degree-annealed observation law).
+// On a frozen RandomRegular graph the two processes genuinely differ at
+// small n (quenched rows correlate rounds; the annealed law does not),
+// so the frozen case is covered by the huge-population run below, not
+// by a small-n KS. Kolmogorov–Smirnov at α = 0.001 on censored t_con.
+func TestSparseAggregateEngineMatchesAgentLevelKS(t *testing.T) {
+	n := 256
+	trials := 100
+	if testing.Short() {
+		trials = 30
+	}
+	cap := 800 * int(math.Log2(float64(n)))
+	tp := DynamicRewire(8, 1)
+	agent := censoredConvergenceSample(t, EngineAgentFast, tp, n, trials, cap, 7<<32)
+	sparse := censoredConvergenceSample(t, EngineAggregateSparse, tp, n, trials, cap, 9<<32)
+
+	d := stats.KSStatistic(agent, sparse)
+	crit := stats.KSCriticalValue(len(agent), len(sparse), 0.001)
+	if d > crit {
+		t.Fatalf("sparse aggregate vs agent-level t_con distributions differ: KS %v > critical %v\nagent: %v\nsparse: %v",
+			d, crit, agent, sparse)
+	}
+}
+
+// TestSparseAggregateEngineHugePopulation: a worst-case random-regular
+// cell at n = 10⁸ must complete through the public API — the population
+// scale that motivated the sparse occupancy engine (the agent engines
+// top out orders of magnitude lower on graph topologies). The sparse
+// k-out graph at this ℓ does not disseminate from the all-wrong start
+// (observed fractions quantize to j/k, starving the drift the complete
+// graph provides), so the run is asserted to execute its full horizon
+// with sane accounting rather than to converge.
+func TestSparseAggregateEngineHugePopulation(t *testing.T) {
+	const maxRounds = 2000
+	res, err := Disseminate(Options{
+		N:         100_000_000,
+		Seed:      1,
+		Engine:    EngineAggregateSparse,
+		Topology:  RandomRegular(8),
+		MaxRounds: maxRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		return // fine too — just unexpected at this ℓ
+	}
+	if res.Rounds != maxRounds {
+		t.Fatalf("run stopped after %d of %d rounds without converging: %+v", res.Rounds, maxRounds, res)
+	}
+	if res.FinalX < 0 || res.FinalX > 1 || math.IsNaN(res.FinalX) {
+		t.Fatalf("final fraction %v outside [0, 1]", res.FinalX)
+	}
+}
+
+// TestSparseAggregateEngineTopologyValidation: the sparse engine accepts
+// exactly the degree-annealed topologies (random k-out and its dynamic
+// rewiring) and rejects fixed-local-structure graphs and the complete
+// topology with ErrInvalidOptions.
+func TestSparseAggregateEngineTopologyValidation(t *testing.T) {
+	run := func(tp Topology) error {
+		_, err := Disseminate(Options{
+			N:         64,
+			Seed:      3,
+			Engine:    EngineAggregateSparse,
+			Topology:  tp,
+			MaxRounds: 4,
+		})
+		return err
+	}
+	for _, tc := range []struct {
+		name string
+		tp   Topology
+	}{
+		{"complete", nil},
+		{"ring", Ring(2)},
+		{"torus", Torus()},
+		{"small-world", SmallWorld(4, 0.1)},
+	} {
+		if err := run(tc.tp); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: want ErrInvalidOptions, got %v", tc.name, err)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		tp   Topology
+	}{
+		{"random-regular", RandomRegular(8)},
+		{"dynamic", DynamicRewire(8, 0.2)},
+	} {
+		if err := run(tc.tp); err != nil {
+			t.Errorf("%s: sparse engine rejected a degree-annealed topology: %v", tc.name, err)
+		}
+	}
+}
+
+// TestSweepRejectsSparseEngineOnFixedTopology: the grid validation must
+// refuse crossing the sparse engine with topologies it cannot model, and
+// accept the degree-annealed ones.
+func TestSweepRejectsSparseEngineOnFixedTopology(t *testing.T) {
+	base := func() SweepSpec {
+		return SweepSpec{
+			Ns:         []int{64},
+			Replicates: 1,
+			Engines:    []EngineKind{EngineAggregateSparse},
+			Topologies: []Topology{RandomRegular(8)},
+		}
+	}
+	if _, err := NewSweep(base()); err != nil {
+		t.Fatalf("sparse engine × random-regular rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		tps  []Topology
+	}{
+		{"complete", nil},
+		{"small-world", []Topology{SmallWorld(4, 0.1)}},
+		{"ring", []Topology{Ring(2)}},
+	} {
+		spec := base()
+		spec.Topologies = tc.tps
+		if _, err := NewSweep(spec); err == nil {
+			t.Errorf("%s: NewSweep accepted sparse engine on a non-annealed topology", tc.name)
+		} else if !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidOptions", tc.name, err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"passivespread/internal/dist"
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+)
+
+// Degree-annealed (configuration-model) aggregate support: on a sparse
+// topology whose rows look like fresh uniform k-samples every round
+// (random k-out, dynamic rewiring), an agent's neighborhood carries
+// j ~ B(k, x) one-opinions and each of its observations reads a uniform
+// neighbor — i.i.d. Bernoulli(q_j) given j, with q_j the noise-folded
+// fraction j/k. The population therefore advances as occupancy counts
+// split over the k+1 neighborhood classes: the complete-graph update law
+// applied per class with x_obs → q_j, at O(k·ℓ²) per round independent
+// of n.
+
+var (
+	_ sim.SparseAggregateProtocol = (*FET)(nil)
+	_ sim.SparseAggregateProtocol = (*SimpleTrend)(nil)
+)
+
+// observedFrac folds per-observation noise into a read fraction,
+// mirroring the agent engines' observation law.
+func observedFrac(x, eps float64) float64 {
+	if eps <= 0 {
+		return x
+	}
+	return x*(1-eps) + (1-x)*eps
+}
+
+// classPMFs returns the B(ℓ, q_j) observation-count PMF for each
+// neighborhood class j ∈ {0, …, k}.
+func classPMFs(ell, k int, x, noiseEps float64) [][]float64 {
+	pmfs := make([][]float64, k+1)
+	for j := 0; j <= k; j++ {
+		pmfs[j] = dist.PMFVector(ell, observedFrac(float64(j)/float64(k), noiseEps))
+	}
+	return pmfs
+}
+
+// addMultinomial draws a multinomial split of m over pmf into scratch
+// and accumulates it into dst (rng.Source.Multinomial overwrites its
+// out slice, and several classes land in the same destination).
+func addMultinomial(src *rng.Source, m int, pmf []float64, scratch, dst []int) {
+	if m == 0 {
+		return
+	}
+	src.Multinomial(m, pmf, scratch)
+	for i, v := range scratch {
+		dst[i] += v
+	}
+}
+
+// StepOccupancySparse implements sim.SparseAggregateProtocol.
+//
+// The complete-graph factorization survives conditioning on the
+// neighborhood class: given j, FET's comparison count′ and fresh stored
+// count″ are i.i.d. B(ℓ, q_j) — both draws sample the same row — so each
+// (opinion, state) group splits multinomially over j, each (o, s, j)
+// cell splits trinomially by the comparison outcome against B(ℓ, q_j),
+// and the next states refill from the agent's own class PMF.
+func (f *FET) StepOccupancySparse(occ, next *sim.Occupancy, k int, x, noiseEps float64, src *rng.Source) {
+	degPMF := dist.PMFVector(k, x)
+	pmfs := classPMFs(f.ell, k, x, noiseEps)
+
+	jCounts := make([]int, k+1)
+	newOnes := make([]int, k+1)
+	newZeros := make([]int, k+1)
+	cumBelow := make([]float64, k+1) // per class: P(B_j < s), swept upward
+	for s := 0; s <= f.ell; s++ {
+		for o := 0; o < 2; o++ {
+			m := occ.Counts[o][s]
+			if m == 0 {
+				continue
+			}
+			src.Multinomial(m, degPMF, jCounts)
+			for j, mj := range jCounts {
+				if mj == 0 {
+					continue
+				}
+				pEq := pmfs[j][s]
+				pLeq := cumBelow[j] + pEq
+				pGt := 1 - pLeq
+				if pGt < 0 {
+					pGt = 0
+				}
+				win := src.Binomial(mj, pGt)
+				rest := mj - win
+				tie := 0
+				if rest > 0 && pLeq > 0 {
+					cond := pEq / pLeq
+					if cond > 1 {
+						cond = 1
+					}
+					tie = src.Binomial(rest, cond)
+				}
+				lose := rest - tie
+				if o == 1 {
+					newOnes[j] += win + tie
+					newZeros[j] += lose
+				} else {
+					newOnes[j] += win
+					newZeros[j] += tie + lose
+				}
+			}
+		}
+		for j := range cumBelow {
+			cumBelow[j] += pmfs[j][s]
+		}
+	}
+
+	scratch := make([]int, f.ell+1)
+	for j := 0; j <= k; j++ {
+		addMultinomial(src, newOnes[j], pmfs[j], scratch, next.Counts[1])
+		addMultinomial(src, newZeros[j], pmfs[j], scratch, next.Counts[0])
+	}
+}
+
+// StepOccupancySparse implements sim.SparseAggregateProtocol.
+//
+// SimpleTrend's single draw both decides the opinion and becomes the
+// next state, so each (opinion, state) group splits over the
+// neighborhood classes and then multinomially over the ℓ+1 counts of
+// its class PMF, routing each count to the opinion the comparison
+// implies.
+func (s *SimpleTrend) StepOccupancySparse(occ, next *sim.Occupancy, k int, x, noiseEps float64, src *rng.Source) {
+	degPMF := dist.PMFVector(k, x)
+	pmfs := classPMFs(s.ell, k, x, noiseEps)
+
+	jCounts := make([]int, k+1)
+	counts := make([]int, s.ell+1)
+	for st := 0; st <= s.ell; st++ {
+		for o := 0; o < 2; o++ {
+			m := occ.Counts[o][st]
+			if m == 0 {
+				continue
+			}
+			src.Multinomial(m, degPMF, jCounts)
+			for j, mj := range jCounts {
+				if mj == 0 {
+					continue
+				}
+				src.Multinomial(mj, pmfs[j], counts)
+				for c, kk := range counts {
+					if kk == 0 {
+						continue
+					}
+					op := o
+					switch {
+					case c > st:
+						op = 1
+					case c < st:
+						op = 0
+					}
+					next.Counts[op][c] += kk
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"passivespread/internal/rng"
+	"passivespread/internal/sim"
+	"passivespread/internal/stats"
+)
+
+// bruteFETAnnealedRound advances a population one round under the exact
+// degree-annealed observation law that StepOccupancySparse claims to
+// aggregate: each agent independently draws its neighborhood class
+// j ~ B(k, x), then comparison and refill counts i.i.d. B(ℓ, j/k), and
+// applies FET's rule (greater → 1, smaller → 0, tie → keep).
+func bruteFETAnnealedRound(op, st []byte, ell, k int, x float64, src *rng.Source) {
+	for i := range op {
+		j := src.Binomial(k, x)
+		q := float64(j) / float64(k)
+		comp := src.Binomial(ell, q)
+		switch s := int(st[i]); {
+		case comp > s:
+			op[i] = 1
+		case comp < s:
+			op[i] = 0
+		}
+		st[i] = byte(src.Binomial(ell, q))
+	}
+}
+
+// bruteTrendAnnealedRound is the SimpleTrend analogue: the single count
+// both decides the opinion and becomes the next state.
+func bruteTrendAnnealedRound(op, st []byte, ell, k int, x float64, src *rng.Source) {
+	for i := range op {
+		j := src.Binomial(k, x)
+		c := src.Binomial(ell, float64(j)/float64(k))
+		switch s := int(st[i]); {
+		case c > s:
+			op[i] = 1
+		case c < s:
+			op[i] = 0
+		}
+		st[i] = byte(c)
+	}
+}
+
+// sparseStepper adapts a SparseAggregateProtocol to the shape of the
+// brute-force rounds for the distribution comparison below.
+type sparseStepper interface {
+	StepOccupancySparse(occ, next *sim.Occupancy, k int, x, noiseEps float64, src *rng.Source)
+}
+
+// sampleSparseX runs rounds of StepOccupancySparse from a reproducible
+// random start and returns the final one-fraction.
+func sampleSparseX(p sparseStepper, ell, n, k, rounds int, seed uint64) float64 {
+	src := rng.NewFrom(seed, 2)
+	occ := sim.NewOccupancy(ell + 1)
+	next := sim.NewOccupancy(ell + 1)
+	for i := 0; i < n; i++ {
+		o := 0
+		if src.Intn(100) < 15 {
+			o = 1
+		}
+		occ.Counts[o][src.Intn(ell+1)]++
+	}
+	step := func(x float64) {
+		next.Zero()
+		p.StepOccupancySparse(occ, next, k, x, 0, src)
+		occ, next = next, occ
+	}
+	for t := 0; t < rounds; t++ {
+		step(float64(occ.Ones()) / float64(n))
+	}
+	return float64(occ.Ones()) / float64(n)
+}
+
+// sampleBruteX runs the same number of rounds of the brute-force
+// agent-level annealed process from the same start distribution.
+func sampleBruteX(round func(op, st []byte, ell, k int, x float64, src *rng.Source),
+	ell, n, k, rounds int, seed uint64) float64 {
+	src := rng.NewFrom(seed, 1)
+	op := make([]byte, n)
+	st := make([]byte, n)
+	for i := range op {
+		if src.Intn(100) < 15 {
+			op[i] = 1
+		}
+		st[i] = byte(src.Intn(ell + 1))
+	}
+	ones := func() int {
+		c := 0
+		for _, o := range op {
+			c += int(o)
+		}
+		return c
+	}
+	for t := 0; t < rounds; t++ {
+		round(op, st, ell, k, float64(ones())/float64(n), src)
+	}
+	return float64(ones()) / float64(n)
+}
+
+// TestStepOccupancySparseMatchesBruteForce: the occupancy-level sparse
+// update must sample exactly the same process as an agent-level
+// simulation of the degree-annealed observation law. Compounding a few
+// rounds before comparing makes the test sensitive to errors in either
+// the comparison split or the refill law. KS at α = 0.001 keeps the
+// statistical false-failure rate negligible across CI runs.
+func TestStepOccupancySparseMatchesBruteForce(t *testing.T) {
+	const (
+		n      = 400
+		k      = 8
+		ell    = 24
+		rounds = 3
+	)
+	reps := 2000
+	if testing.Short() {
+		reps = 400
+	}
+	cases := []struct {
+		name  string
+		proto sparseStepper
+		round func(op, st []byte, ell, k int, x float64, src *rng.Source)
+	}{
+		{"FET", NewFET(ell), bruteFETAnnealedRound},
+		{"SimpleTrend", NewSimpleTrend(ell), bruteTrendAnnealedRound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			brute := make([]float64, reps)
+			sparse := make([]float64, reps)
+			for r := 0; r < reps; r++ {
+				brute[r] = sampleBruteX(tc.round, ell, n, k, rounds, uint64(100+r))
+				sparse[r] = sampleSparseX(tc.proto, ell, n, k, rounds, uint64(100+r))
+			}
+			d := stats.KSStatistic(brute, sparse)
+			crit := stats.KSCriticalValue(reps, reps, 0.001)
+			if d > crit {
+				t.Fatalf("occupancy sparse step diverges from the agent-level annealed process: KS = %.4f > %.4f", d, crit)
+			}
+		})
+	}
+}
+
+// TestStepOccupancySparseConservesPopulation mirrors the complete-graph
+// aggregate test: no agents may appear or vanish across a round.
+func TestStepOccupancySparseConservesPopulation(t *testing.T) {
+	const ell = 17
+	for _, tc := range []struct {
+		name  string
+		proto sparseStepper
+	}{
+		{"FET", NewFET(ell)},
+		{"SimpleTrend", NewSimpleTrend(ell)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := rng.NewFrom(5, 0)
+			occ := sim.NewOccupancy(ell + 1)
+			next := sim.NewOccupancy(ell + 1)
+			total := 0
+			for s := 0; s <= ell; s++ {
+				occ.Counts[0][s] = 3*s + 1
+				occ.Counts[1][s] = 2 * s
+				total += occ.Counts[0][s] + occ.Counts[1][s]
+			}
+			for _, x := range []float64{0, 0.2, 0.97, 1} {
+				next.Zero()
+				tc.proto.StepOccupancySparse(occ, next, 6, x, 0.05, src)
+				got := 0
+				for s := 0; s <= ell; s++ {
+					got += next.Counts[0][s] + next.Counts[1][s]
+				}
+				if got != total {
+					t.Fatalf("x = %v: population changed %d → %d", x, total, got)
+				}
+				occ, next = next, occ
+			}
+		})
+	}
+}

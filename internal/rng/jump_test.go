@@ -1,0 +1,224 @@
+package rng
+
+import "testing"
+
+// drain returns the next k outputs of a copy-independent source.
+func drain(s *Source, k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = s.Uint64()
+	}
+	return out
+}
+
+// TestAdvanceMatchesSerialDraws: Advance(m) must leave the state exactly
+// where m ignored Uint64 calls would, across the unrolled and remainder
+// paths.
+func TestAdvanceMatchesSerialDraws(t *testing.T) {
+	for _, m := range []int{0, 1, 2, 3, 4, 5, 7, 8, 80, 257} {
+		a := New(uint64(m) + 9)
+		b := *a
+		a.Advance(m)
+		for i := 0; i < m; i++ {
+			b.Uint64()
+		}
+		if got, want := drain(a, 4), drain(&b, 4); got[0] != want[0] || got[3] != want[3] {
+			t.Fatalf("Advance(%d) diverged from %d serial draws", m, m)
+		}
+	}
+}
+
+// TestStepJumpMatchesAdvance: one table application must equal an
+// m-step serial advance for every state it is applied to.
+func TestStepJumpMatchesAdvance(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 80, 161} {
+		j := NewStepJump(m)
+		if j.Steps() != m {
+			t.Fatalf("NewStepJump(%d).Steps() = %d", m, j.Steps())
+		}
+		for seed := uint64(0); seed < 5; seed++ {
+			a := New(seed)
+			b := *a
+			j.Apply(a)
+			b.Advance(m)
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("StepJump(%d) at seed %d diverged from Advance", m, seed)
+			}
+		}
+	}
+}
+
+// TestSquareDoublesSteps: squaring must produce the exact 2m-step jump,
+// not merely one of the same length.
+func TestSquareDoublesSteps(t *testing.T) {
+	j := NewStepJump(7)
+	sq := j.Square()
+	if sq.Steps() != 14 {
+		t.Fatalf("Square of 7 steps reports %d", sq.Steps())
+	}
+	a := New(3)
+	b := *a
+	sq.Apply(a)
+	b.Advance(14)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("squared jump diverged from a 14-step advance")
+	}
+}
+
+// TestJumpLadderFlushMatchesSerial: Flush(units) must consume exactly
+// units·BaseSteps outputs for debts below, at, and far beyond the
+// ladder's top rung.
+func TestJumpLadderFlushMatchesSerial(t *testing.T) {
+	const base, depth = 5, 3
+	l := NewJumpLadder(NewStepJump(base), depth)
+	if l.BaseSteps() != base {
+		t.Fatalf("BaseSteps = %d, want %d", l.BaseSteps(), base)
+	}
+	// 7 = all rungs; 8 and 9 exercise the leftover path (depth covers
+	// units < 8); 41 leaves a large multi-application remainder.
+	for _, units := range []uint64{0, 1, 2, 3, 7, 8, 9, 41} {
+		a := New(100 + units)
+		b := *a
+		l.Flush(a, units)
+		b.Advance(int(units) * base)
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Flush(%d) diverged from Advance(%d)", units, units*base)
+		}
+	}
+}
+
+// TestNewJumpLadderPanicsOnZeroDepth guards the constructor contract.
+func TestNewJumpLadderPanicsOnZeroDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewJumpLadder(base, 0) did not panic")
+		}
+	}()
+	NewJumpLadder(NewStepJump(1), 0)
+}
+
+// TestCountPackedMatchesPerDraw: the fused counting kernel must agree
+// with the literal per-draw loop — same count, same stream position —
+// for every power-of-two degree, including the degenerate shift = 64
+// (degree 1: every output reads bit 0).
+func TestCountPackedMatchesPerDraw(t *testing.T) {
+	for _, deg := range []uint{1, 2, 8, 64} {
+		shift := uint(64)
+		for d := deg; d > 1; d >>= 1 {
+			shift--
+		}
+		for _, m := range []int{0, 1, 3, 4, 9, 80} {
+			a := New(uint64(deg)*1000 + uint64(m))
+			b := *a
+			row := a.Uint64() // arbitrary opinion bits; consume from both
+			b.Uint64()
+			got := a.CountPacked(row, shift, m)
+			want := 0
+			for i := 0; i < m; i++ {
+				want += int(row >> (b.Uint64() >> shift) & 1)
+			}
+			if got != want {
+				t.Fatalf("deg %d m %d: CountPacked = %d, per-draw = %d", deg, m, got, want)
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("deg %d m %d: CountPacked left the stream misaligned", deg, m)
+			}
+		}
+	}
+}
+
+// TestCountPackedBlocksMatchesCountPacked: the multi-block form (the
+// Mul64+LUT kernel for shift ≥ 58 and the per-block fallback below)
+// must equal consecutive single-block counts on the same stream.
+func TestCountPackedBlocksMatchesCountPacked(t *testing.T) {
+	for _, shift := range []uint{64, 61, 58, 57} { // 57: the sub-58 fallback
+		for _, blocks := range []int{1, 2, 5} {
+			for _, m := range []int{1, 4, 7, 80} {
+				a := New(uint64(shift)<<8 ^ uint64(blocks*100+m))
+				b := *a
+				row := a.Uint64()
+				b.Uint64()
+				counts := make([]int, blocks)
+				a.CountPackedBlocks(row, shift, m, counts)
+				for blk := 0; blk < blocks; blk++ {
+					if want := b.CountPacked(row, shift, m); counts[blk] != want {
+						t.Fatalf("shift %d blocks %d m %d: block %d = %d, want %d",
+							shift, blocks, m, blk, counts[blk], want)
+					}
+				}
+				if a.Uint64() != b.Uint64() {
+					t.Fatalf("shift %d blocks %d m %d: streams misaligned", shift, blocks, m)
+				}
+			}
+		}
+	}
+}
+
+// TestFirstRawMatchesFullSeed: the seeding shortcut must reproduce the
+// constructed generator's first outputs exactly.
+func TestFirstRawMatchesFullSeed(t *testing.T) {
+	for seed := uint64(0); seed < 1000; seed += 37 {
+		if got, want := FirstRaw(seed), New(seed).Uint64(); got != want {
+			t.Fatalf("FirstRaw(%d) = %x, New(%d).Uint64() = %x", seed, got, seed, want)
+		}
+		if got, want := FirstUnit(seed), New(seed).Float64(); got != want {
+			t.Fatalf("FirstUnit(%d) = %v, New(%d).Float64() = %v", seed, got, seed, want)
+		}
+	}
+}
+
+// TestUnitThresholdEquivalence: integer comparison against the
+// threshold must decide exactly as the float comparison it replaces,
+// for mantissas straddling each probability's boundary.
+func TestUnitThresholdEquivalence(t *testing.T) {
+	for _, p := range []float64{0, 1e-12, 0.2, 0.5, 0.999999, 1} {
+		thr := UnitThreshold(p)
+		for _, delta := range []int64{-2, -1, 0, 1, 2} {
+			m := int64(thr) + delta
+			if m < 0 || m >= 1<<53 {
+				continue
+			}
+			intDecision := uint64(m) < thr
+			floatDecision := float64(m)/(1<<53) < p
+			if intDecision != floatDecision {
+				t.Fatalf("p = %v mantissa %d: integer says %v, float says %v",
+					p, m, intDecision, floatDecision)
+			}
+		}
+	}
+	src := New(11)
+	thr := UnitThreshold(0.3)
+	for i := 0; i < 4096; i++ {
+		u := src.Uint64()
+		if (u>>11 < thr) != (UnitFloat(u) < 0.3) {
+			t.Fatalf("raw %x: threshold and UnitFloat comparisons disagree", u)
+		}
+	}
+}
+
+func BenchmarkStepJumpApply(b *testing.B) {
+	j := NewStepJump(80)
+	s := New(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Apply(s)
+	}
+}
+
+func BenchmarkAdvance80(b *testing.B) {
+	s := New(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance(80)
+	}
+}
+
+func BenchmarkCountPackedBlocks(b *testing.B) {
+	s := New(42)
+	row := s.Uint64()
+	counts := make([]int, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CountPackedBlocks(row, 61, 80, counts)
+	}
+}

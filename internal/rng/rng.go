@@ -13,7 +13,10 @@
 // algorithm whose output does not change across Go releases.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic xoshiro256★★ generator. The zero value is not
 // usable; construct with New or NewFrom.
@@ -126,6 +129,236 @@ func (s *Source) Fill(dst []uint64) {
 	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
 }
 
+// Advance discards the next m outputs of the stream: exactly equivalent
+// to m Uint64 calls whose results are ignored, with the state kept in
+// locals across the run. Batched consumers use it when a block's
+// aggregate answer is known without inspecting the values (a packed-row
+// count over a homogeneous row) but the stream must still move exactly
+// as the per-draw path would.
+func (s *Source) Advance(m int) {
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	for ; i < m; i++ {
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+}
+
+// CountPacked draws the next m outputs and returns how many select a
+// set bit of row when each output x is mapped to the bit index
+// x >> shift. With shift = 64 − log₂(d) for a power-of-two d this is
+// exactly m Lemire Intn(d) draws (a power-of-two bound never rejects)
+// each reading one bit of a packed d-bit row — the graph observer's
+// counting kernel, fused with the generator so the values never round-
+// trip through memory. Consumes exactly m outputs.
+//
+// CountPackedBlocks is the same kernel with the two variable shifts
+// traded for a multiply and a table load; this single-block form keeps
+// the direct extraction, which wins when m is too small to amortize the
+// table setup.
+func (s *Source) CountPacked(row uint64, shift uint, m int) int {
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	var acc uint64
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		x0 := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		x1 := rotl(s1*5, 7) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		x2 := rotl(s1*5, 7) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		x3 := rotl(s1*5, 7) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		acc += row>>(x0>>shift)&1 + row>>(x1>>shift)&1 + row>>(x2>>shift)&1 + row>>(x3>>shift)&1
+	}
+	for ; i < m; i++ {
+		x := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		acc += row >> (x >> shift) & 1
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+	return int(acc)
+}
+
+// CountPackedBlocks runs len(counts) consecutive CountPacked(row,
+// shift, m) draws with a single state round-trip, storing each block's
+// count. It consumes exactly len(counts)·m outputs — the whole round of
+// a FixedDraws protocol on the fused graph path, counted at bind time.
+//
+// For rows of at most 64 bits (shift ≥ 58, every packed-row degree) the
+// bit extraction runs through a per-call byte table indexed by the high
+// Mul64 word — bit i of row at byte i, hi(x·2^k) ≡ x >> (64−k) — which
+// replaces the hot loop's two variable shifts (CL-tied, multi-µop on
+// amd64) with one widening multiply and one L1 load per output.
+func (s *Source) CountPackedBlocks(row uint64, shift uint, m int, counts []int) {
+	if shift < 58 {
+		for b := range counts {
+			counts[b] = s.CountPacked(row, shift, m)
+		}
+		return
+	}
+	var lut [64]byte
+	deg := uint64(1)
+	if shift < 64 {
+		deg = 1 << (64 - shift)
+	}
+	for i := uint64(0); i < deg; i++ {
+		lut[i] = byte(row >> i & 1)
+	}
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	for b := range counts {
+		var acc uint64
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			x0 := rotl(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			x1 := rotl(s1*5, 7) * 9
+			t = s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			x2 := rotl(s1*5, 7) * 9
+			t = s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			x3 := rotl(s1*5, 7) * 9
+			t = s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			h0, _ := bits.Mul64(x0, deg)
+			h1, _ := bits.Mul64(x1, deg)
+			h2, _ := bits.Mul64(x2, deg)
+			h3, _ := bits.Mul64(x3, deg)
+			acc += uint64(lut[h0&63]) + uint64(lut[h1&63]) + uint64(lut[h2&63]) + uint64(lut[h3&63])
+		}
+		for ; i < m; i++ {
+			x := rotl(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			h, _ := bits.Mul64(x, deg)
+			acc += uint64(lut[h&63])
+		}
+		counts[b] = int(acc)
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+}
+
+// FirstRaw returns the first Uint64 of New(seed) without constructing
+// the generator: FirstRaw(seed) == New(seed).Uint64() for every seed.
+// The first xoshiro output reads only the s1 state word, so seeding can
+// stop after two SplitMix64 steps (the first advanced but not mixed —
+// its value never feeds the output). Per-(round, agent) decision coins
+// (dynamic-rewire Bernoulli) use this to avoid a full reseed for the
+// common no-op outcome.
+func FirstRaw(seed uint64) uint64 {
+	st := seed + 0x9e3779b97f4a7c15 // advance past s0 unmixed
+	s1 := SplitMix64(&st)
+	return rotl(s1*5, 7) * 9
+}
+
+// FirstUnit returns the first Float64 of New(seed) without constructing
+// the generator: FirstUnit(seed) == New(seed).Float64() for every seed.
+func FirstUnit(seed uint64) float64 {
+	return UnitFloat(FirstRaw(seed))
+}
+
+// UnitThreshold returns the smallest integer T such that, for every
+// 53-bit mantissa m, UnitFloat-style comparison float64(m)/2^53 < p is
+// equivalent to m < T. Scaling p by 2^53 is exact (a power-of-two
+// exponent shift), so hot Bernoulli coins over raw outputs can compare
+// u>>11 < T in integers with no float conversion per draw.
+func UnitThreshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 // It uses Lemire's nearly-divisionless unbiased bounded generation.
 func (s *Source) Intn(n int) int {
@@ -145,18 +378,11 @@ func (s *Source) Intn(n int) int {
 	return int(hi)
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// is a compiler intrinsic (one widening multiply on amd64/arm64) with
+// the exact product semantics the Lemire bound needs.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	aLo, aHi := a&mask32, a>>32
-	bLo, bHi := b&mask32, b>>32
-	t := aHi*bLo + (aLo*bLo)>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += aLo * bHi
-	hi = aHi*bHi + w2 + (w1 >> 32)
-	lo = a * b
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Bernoulli returns true with probability p. Values of p outside [0,1]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"passivespread/internal/rng"
+	"passivespread/internal/topo"
 )
 
 // aggregateExecutor advances the population as per-(opinion, state)
@@ -17,8 +18,13 @@ import (
 type aggregateExecutor struct {
 	cfg   *Config
 	proto AggregateProtocol
-	occ   *Occupancy
-	next  *Occupancy
+	// sparse and annealedK select the degree-annealed round update
+	// (EngineAggregateSparse): annealedK is the topology's uniform
+	// out-degree, 0 on the uniform-mixing path.
+	sparse    SparseAggregateProtocol
+	annealedK int
+	occ       *Occupancy
+	next      *Occupancy
 	// sourceOnes is the number of sources displaying 1 (all sources agree,
 	// so this is Sources or 0 depending on the current correct opinion).
 	sourceOnes int
@@ -32,6 +38,23 @@ func newAggregateExecutor(c *Config) (*aggregateExecutor, error) {
 		return nil, fmt.Errorf("sim: engine %v requires an aggregate-capable protocol, %q is not",
 			c.Engine, c.Protocol.Name())
 	}
+	var sparse SparseAggregateProtocol
+	annealedK := 0
+	if c.Engine == EngineAggregateSparse {
+		sparse, ok = c.Protocol.(SparseAggregateProtocol)
+		if !ok {
+			return nil, fmt.Errorf("sim: engine %v requires a sparse-aggregate-capable protocol, %q is not",
+				c.Engine, c.Protocol.Name())
+		}
+		k, ok := topo.AnnealedDegree(c.Topology)
+		if !ok {
+			// withDefaults already rejects this; keep the executor safe on
+			// direct construction.
+			return nil, fmt.Errorf("sim: engine %v requires a degree-annealed topology, %q is not",
+				c.Engine, c.Topology.Name())
+		}
+		annealedK = k
+	}
 	if c.StateInit != nil {
 		return nil, fmt.Errorf("sim: engine %v does not support StateInit (no per-agent objects)", c.Engine)
 	}
@@ -41,10 +64,12 @@ func newAggregateExecutor(c *Config) (*aggregateExecutor, error) {
 	}
 
 	e := &aggregateExecutor{
-		cfg:   c,
-		proto: proto,
-		occ:   NewOccupancy(states),
-		next:  NewOccupancy(states),
+		cfg:       c,
+		proto:     proto,
+		sparse:    sparse,
+		annealedK: annealedK,
+		occ:       NewOccupancy(states),
+		next:      NewOccupancy(states),
 		// Stream 0 matches the agent engines' initializer stream; all
 		// aggregate draws share it (the engine is sequential by design —
 		// its per-round work is O(ℓ²) regardless of n).
@@ -132,10 +157,16 @@ func (e *aggregateExecutor) Step(correct byte) error {
 	e.ones = e.sourceOnes + nonSourceOnes
 
 	x := float64(e.ones) / float64(c.N)
-	xObs := observedFraction(x, c.NoiseEps)
 
 	e.next.Zero()
-	e.proto.StepOccupancy(e.occ, e.next, xObs, e.src)
+	if e.annealedK > 0 {
+		// Annealed sparse update: noise folds in per neighborhood class
+		// (observations read j/k-fraction neighborhoods, not x), so the
+		// raw fraction passes through.
+		e.sparse.StepOccupancySparse(e.occ, e.next, e.annealedK, x, c.NoiseEps, e.src)
+	} else {
+		e.proto.StepOccupancy(e.occ, e.next, observedFraction(x, c.NoiseEps), e.src)
+	}
 	e.occ, e.next = e.next, e.occ
 
 	e.ones = e.sourceOnes + e.occ.Ones()

@@ -36,7 +36,7 @@ func newRoundExecutor(c *Config) (roundExecutor, error) {
 	switch c.Engine {
 	case EngineAgentFast, EngineAgentExact, EngineAgentParallel:
 		return newAgentExecutor(c)
-	case EngineAggregate:
+	case EngineAggregate, EngineAggregateSparse:
 		return newAggregateExecutor(c)
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %v", c.Engine)
@@ -71,6 +71,11 @@ type agentExecutor struct {
 	// per replicate instead of one allocation. Agents capture &srcs[i],
 	// which stays valid for the executor's lifetime.
 	srcs []rng.Source
+	// deficit counts, per agent, the homogeneous-row rounds whose stream
+	// advance the graph observers deferred (nil off the fused jump path).
+	// Reset each replicate; leftover debt at replicate end is dropped —
+	// an absorbed population's streams are never read again.
+	deficit []uint32
 	// sampleSizes are the protocol's declared CountOnes sizes; tables
 	// holds the per-round tabulated binomial laws for them, retabulated
 	// in place every round (nil on the exact and graph paths, which
@@ -176,12 +181,24 @@ func newAgentExecutor(c *Config) (*agentExecutor, error) {
 	}
 
 	e.observers = make([]reusableObserver, e.workers)
+	var graphLadder *rng.JumpLadder
+	if e.graph != nil {
+		if j := graphRoundJump(e.graph, c); j != nil {
+			// Homogeneous-row rounds defer their stream advance into a
+			// per-agent debt counter; the ladder settles any debt in
+			// O(log debt) applications. Shards own disjoint agent ranges,
+			// so the counters race-free under parallel stepping.
+			graphLadder = rng.NewJumpLadder(j, jumpLadderDepth)
+			e.deficit = make([]uint32, n)
+		}
+	}
 	for w := range e.observers {
 		switch {
 		case e.graph != nil:
 			// Non-complete topology: every agent engine samples neighbor
-			// opinions literally; fast and exact coincide here.
-			e.observers[w] = &graphObserver{ops: &e.opinions, view: e.graph.NewView(), noiseEps: c.NoiseEps}
+			// opinions through the packed-row gather; fast and exact
+			// coincide here.
+			e.observers[w] = newGraphObserver(&e.opinions, e.graph, c, graphLadder, e.deficit)
 		case c.Engine == EngineAgentExact:
 			e.observers[w] = &exactObserver{ops: &e.opinions, noiseEps: c.NoiseEps}
 		default:
@@ -286,6 +303,9 @@ func (e *agentExecutor) populate(c *Config) error {
 	e.ones = e.opinions.ones()
 
 	reuse := e.agentsReusable
+	for i := range e.deficit {
+		e.deficit[i] = 0
+	}
 	for i := c.Sources; i < n; i++ {
 		e.srcs[i].Reseed(rng.StreamSeed(c.Seed, uint64(i)+1))
 		if reuse {
@@ -323,7 +343,9 @@ func (e *agentExecutor) populate(c *Config) error {
 		case *exactObserver:
 			o.noiseEps = c.NoiseEps
 		case *graphObserver:
-			o.noiseEps = c.NoiseEps
+			// Noise changes the per-observation stream consumption, so the
+			// prefetch size follows it.
+			o.setNoise(c.NoiseEps)
 		}
 	}
 	return nil

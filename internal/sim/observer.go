@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"passivespread/internal/rng"
 	"passivespread/internal/topo"
@@ -134,25 +135,240 @@ func (o *fastObserver) Sample() byte {
 	return OpinionZero
 }
 
+// maxGraphPrefetch caps the graph observer's per-round bulk prefetch
+// (in stream outputs). Prefetching less than a round's guaranteed
+// consumption is always stream-exact, so the cap only bounds memory for
+// adversarially large sample sizes.
+const maxGraphPrefetch = 4096
+
 // graphObserver implements Observation on a non-complete topology: it
-// draws uniform (with replacement) out-neighbors of the bound agent
-// through a per-worker topo.View and reads their current opinion bits —
-// the operational PULL definition restricted to the observation graph.
-// The binomial shortcut of fastObserver is a uniform-mixing identity and
-// does not apply here, so every agent engine shares this literal path on
-// sparse topologies; the agent's own RNG stream drives the draws, which
-// is what keeps the sharded parallel sweep bit-identical to the
-// sequential one.
+// draws uniform (with replacement) out-neighbors of the bound agent and
+// reads their current opinion bits — the operational PULL definition
+// restricted to the observation graph. The binomial shortcut of
+// fastObserver is a uniform-mixing identity and does not apply here, so
+// every agent engine shares this path on sparse topologies; the agent's
+// own RNG stream drives the draws, which is what keeps the sharded
+// parallel sweep bit-identical to the sequential one.
+//
+// The hot path is the PR 5 playbook applied to graphs. At bind, the
+// agent's whole out-row packs into one uint64 of opinion bits (a CSR
+// gather over the opinion bitset, frozen at graph Build/Rebuild time —
+// see topo.View.RowBits), and for FixedDraws protocols the agent's
+// whole round of stream outputs is bulk-loaded in one rng.Prefetch
+// fill. Every draw then mirrors the per-draw path exactly — the
+// Prefetch replays Intn's Lemire rejection walk and Bernoulli's
+// consumption rule over the buffered values — so the consumed stream is
+// bit-identical to the unbatched loop while each observation costs a
+// shift and a mask instead of a scattered bitset read. Power-of-two
+// degrees reject nothing, which unlocks a branch-free block loop and,
+// for homogeneous rows, an O(1) whole-count answer.
+//
+// Out-degrees beyond 64 (no packed row) keep the literal per-draw path.
 type graphObserver struct {
 	ops      *opinionBits
 	view     *topo.View
 	src      *rng.Source
 	noiseEps float64
+
+	// deg is the graph's uniform out-degree; fullRow its packed all-ones
+	// row; shift is 64−log₂(deg) when deg is a power of two (0 sentinel
+	// otherwise): Lemire's Intn on a power-of-two bound is exactly
+	// x >> shift with no rejection.
+	deg     int
+	fullRow uint64
+	shift   uint
+	// baseDraws is the protocol's guaranteed per-round observation count
+	// (FixedDraws calls × the single declared sample size; 0 disables
+	// prefetching), draws the per-replicate effective prefetch after the
+	// noise-consumption doubling.
+	baseDraws int
+	draws     int
+	// fused selects the zero-buffer counting path: a power-of-two degree
+	// with no noise consumes exactly one output per observation, so whole
+	// CountOnes blocks run inside the generator kernel (rng.CountPacked)
+	// with no prefetch at all.
+	fused bool
+	// ladder is the shared whole-round stream-jump ladder (base =
+	// DrawsPerRound·m steps) and deficit the per-agent count of deferred
+	// rounds: a homogeneous row under the fused contract answers every
+	// CountOnes of the round from the row alone, so instead of advancing
+	// the agent's stream it increments the agent's debt, settled in
+	// O(log debt) ladder applications the next time the stream is
+	// actually read — or dropped at replicate end if it never is. skip
+	// reports that the current bind deferred (CountOnes must not touch
+	// the source).
+	ladder  *rng.JumpLadder
+	deficit []uint32
+	skip    bool
+	// calls and callSize hold the FixedDraws round shape (DrawsPerRound
+	// CountOnes calls of the single declared size) when it fits the
+	// precount buffer; under the fused contract a mixed row's whole round
+	// of counts computes at bind in one kernel pass (counted), served in
+	// call order from cnts.
+	calls    int
+	callSize int
+	counted  bool
+	cpos     int
+	cnts     [maxFixedDraws]int
+	// packed reports that the bound agent's row is gathered into rowBits
+	// for this bind.
+	packed  bool
+	rowBits uint64
+	pre     rng.Prefetch
+}
+
+// newGraphObserver builds one per-shard graph observer. The prefetch
+// size derives from the FixedDraws contract: every Step makes exactly
+// DrawsPerRound CountOnes calls of declared sizes and no Sample calls,
+// so with a single distinct declared size m the round consumes at least
+// DrawsPerRound·m outputs (each observation is ≥ 1 Intn output, plus
+// exactly one Bernoulli output when noise is in (0,1)) — the safe bulk
+// load.
+func newGraphObserver(ops *opinionBits, g *topo.Graph, c *Config, ladder *rng.JumpLadder, deficit []uint32) *graphObserver {
+	o := &graphObserver{ops: ops, view: g.NewView(), deg: g.Degree(), ladder: ladder, deficit: deficit}
+	o.fullRow = ^uint64(0)
+	if o.deg < 64 {
+		o.fullRow = 1<<uint(o.deg) - 1
+	}
+	if o.deg&(o.deg-1) == 0 {
+		o.shift = uint(64 - bits.TrailingZeros(uint(o.deg)))
+	}
+	if g.PackedRows() {
+		if fd, ok := c.Protocol.(FixedDraws); ok {
+			if m, single := singleSampleSize(c.Protocol.SampleSizes()); single && m >= 1 {
+				if d := fd.DrawsPerRound(); d >= 1 {
+					o.baseDraws = d * m
+					if o.baseDraws > maxGraphPrefetch/2 {
+						o.baseDraws = maxGraphPrefetch / 2
+					}
+					if d <= maxFixedDraws {
+						o.calls, o.callSize = d, m
+					}
+				}
+			}
+		}
+	}
+	o.pre.Init(2 * o.baseDraws)
+	o.setNoise(c.NoiseEps)
+	return o
+}
+
+// maxRoundJumpSteps bounds the whole-round jump's precompute (building
+// a StepJump runs 256·steps serial state advances); protocols declaring
+// more draws per round than this keep the serial homogeneous-row path.
+const maxRoundJumpSteps = 1 << 16
+
+// jumpLadderDepth is the number of powers-of-two rungs built over the
+// whole-round jump: deferred-round debts up to 2^16−1 settle in
+// popcount applications, and longer ones (an agent homogeneous for a
+// whole epoch) fall back to repeated top-rung applications.
+const jumpLadderDepth = 16
+
+// flushDebt settles the agent's deferred stream advance before the
+// source is next read, keeping the stream byte-identical to the
+// never-deferred schedule.
+func (o *graphObserver) flushDebt(agent int, src *rng.Source) {
+	if d := o.deficit[agent]; d != 0 {
+		o.ladder.Flush(src, uint64(d))
+		o.deficit[agent] = 0
+	}
+}
+
+// graphRoundJump builds the whole-round stream jump shared by every
+// shard's graph observer: DrawsPerRound·m steps, the exact per-round
+// consumption of the fused (power-of-two degree, noiseless) contract.
+// nil when the contract cannot hold for this (graph, protocol) pair.
+func graphRoundJump(g *topo.Graph, c *Config) *rng.StepJump {
+	deg := g.Degree()
+	if !g.PackedRows() || deg&(deg-1) != 0 {
+		return nil
+	}
+	fd, ok := c.Protocol.(FixedDraws)
+	if !ok {
+		return nil
+	}
+	m, single := singleSampleSize(c.Protocol.SampleSizes())
+	if !single || m < 1 {
+		return nil
+	}
+	d := fd.DrawsPerRound()
+	if d < 1 || d > maxRoundJumpSteps/m {
+		return nil
+	}
+	return rng.NewStepJump(d * m)
+}
+
+// singleSampleSize reports the protocol's sole distinct declared sample
+// size, when there is exactly one.
+func singleSampleSize(sizes []int) (int, bool) {
+	if len(sizes) == 0 {
+		return 0, false
+	}
+	m := sizes[0]
+	for _, s := range sizes[1:] {
+		if s != m {
+			return 0, false
+		}
+	}
+	return m, true
+}
+
+// setNoise installs the replicate's noise level and the prefetch size it
+// implies: noise in (0, 1) consumes exactly one extra output per
+// observation (Bernoulli draws nothing outside that interval).
+func (o *graphObserver) setNoise(eps float64) {
+	o.noiseEps = eps
+	o.fused = o.shift != 0 && eps <= 0
+	o.draws = o.baseDraws
+	switch {
+	case o.fused:
+		// The fused kernel draws straight from the source; buffering would
+		// only add a memory round-trip.
+		o.draws = 0
+	case eps > 0 && eps < 1:
+		o.draws *= 2
+	}
 }
 
 func (o *graphObserver) bind(agent int, src *rng.Source) {
 	o.src = src
 	o.view.Bind(agent)
+	o.rowBits, o.packed = o.view.RowBits(o.ops.words)
+	if !o.packed {
+		if o.fused && o.ladder != nil {
+			o.flushDebt(agent, src)
+		}
+		o.skip, o.counted = false, false
+		return
+	}
+	if o.fused {
+		if o.ladder != nil {
+			if o.rowBits == 0 || o.rowBits == o.fullRow {
+				// Homogeneous row, exact per-round consumption: every
+				// CountOnes answer is known from the row, so the round's
+				// whole stream advance is deferred — one counter
+				// increment now, settled by the jump ladder when the
+				// stream is next read.
+				o.deficit[agent]++
+				o.skip, o.counted = true, false
+				return
+			}
+			o.flushDebt(agent, src)
+		}
+		o.skip = false
+		if o.calls >= 1 {
+			// Mixed row: the round's whole call sequence is pinned by the
+			// FixedDraws contract, so all its counts compute here in one
+			// generator pass and the calls just read them off.
+			o.src.CountPackedBlocks(o.rowBits, o.shift, o.callSize, o.cnts[:o.calls])
+			o.cpos, o.counted = 0, true
+			return
+		}
+		o.counted = false
+		return
+	}
+	o.skip, o.counted = false, false
+	o.pre.Bind(src, o.draws)
 }
 
 func (o *graphObserver) newRound(round int, _ float64, _ []roundTable) {
@@ -160,14 +376,75 @@ func (o *graphObserver) newRound(round int, _ float64, _ []roundTable) {
 }
 
 func (o *graphObserver) CountOnes(m int) int {
+	if !o.packed {
+		count := 0
+		for i := 0; i < m; i++ {
+			count += int(o.sampleLiteral())
+		}
+		return count
+	}
+	if o.fused {
+		// Power-of-two degree, no noise: every draw is exactly one output
+		// (x >> shift, no Lemire rejection, no Bernoulli), so counts are
+		// either pre-computed at bind (counted), known from a homogeneous
+		// row (its outputs consumed by the bind-time jump or burned
+		// here), or run inside the generator kernel.
+		if o.counted {
+			c := o.cnts[o.cpos]
+			o.cpos++
+			return c
+		}
+		switch o.rowBits {
+		case 0:
+			if !o.skip {
+				o.src.Advance(m)
+			}
+			return 0
+		case o.fullRow:
+			if !o.skip {
+				o.src.Advance(m)
+			}
+			return m
+		}
+		return o.src.CountPacked(o.rowBits, o.shift, m)
+	}
 	count := 0
 	for i := 0; i < m; i++ {
-		count += int(o.Sample())
+		b := o.rowBits >> uint(o.pre.Intn(o.deg)) & 1
+		if o.noiseFlip() {
+			b ^= 1
+		}
+		count += int(b)
 	}
 	return count
 }
 
 func (o *graphObserver) Sample() byte {
+	if !o.packed {
+		return o.sampleLiteral()
+	}
+	b := byte(o.rowBits >> uint(o.pre.Intn(o.deg)) & 1)
+	if o.noiseFlip() {
+		b ^= 1
+	}
+	return b
+}
+
+// noiseFlip mirrors src.Bernoulli(noiseEps) through the prefetch,
+// including its zero-consumption edges.
+func (o *graphObserver) noiseFlip() bool {
+	if o.noiseEps <= 0 {
+		return false
+	}
+	if o.noiseEps >= 1 {
+		return true
+	}
+	return o.pre.Float64() < o.noiseEps
+}
+
+// sampleLiteral is the unpacked fallback (out-degree > 64): sample a
+// neighbor index through the view and read its opinion bit.
+func (o *graphObserver) sampleLiteral() byte {
 	b := o.ops.get(o.view.Next(o.src))
 	if o.noiseEps > 0 && o.src.Bernoulli(o.noiseEps) {
 		return 1 - b

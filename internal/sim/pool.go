@@ -48,8 +48,8 @@ func NewPool() *Pool {
 // executor matching cfg's shape (building one on a miss), runs the
 // replicate, and returns the executor to the pool. Results are
 // bit-identical to the unpooled path. A nil *Pool degrades to plain
-// RunContext. Engines without per-agent state (EngineAggregate) run
-// unpooled — their setup is O(ℓ), not O(n).
+// RunContext. Engines without per-agent state (EngineAggregate,
+// EngineAggregateSparse) run unpooled — their setup is O(ℓ), not O(n).
 func (p *Pool) RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if p == nil {
 		return RunContext(ctx, cfg)
@@ -58,7 +58,7 @@ func (p *Pool) RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if c.Engine == EngineAggregate {
+	if c.Engine == EngineAggregate || c.Engine == EngineAggregateSparse {
 		exec, err := newAggregateExecutor(&c)
 		if err != nil {
 			return Result{}, err

@@ -156,10 +156,19 @@ const (
 	// Requires a Protocol implementing AggregateProtocol; supports
 	// CorruptStates but not StateInit.
 	EngineAggregate
+	// EngineAggregateSparse is the occupancy engine for degree-annealed
+	// sparse topologies (random k-out and its dynamic rewiring): each
+	// agent's k observation targets look like a fresh uniform draw every
+	// round, so an agent's neighborhood carries j ~ B(k, x) one-opinions
+	// and its observations are i.i.d. Bernoulli(j/k) given j. One round
+	// costs O(k·ℓ²) independent of n. Requires a Protocol implementing
+	// SparseAggregateProtocol and a topology reporting an annealed
+	// degree; all other topologies are rejected at validation.
+	EngineAggregateSparse
 )
 
 // ParseEngineKind returns the engine selected by a CLI-style name:
-// "fast", "exact", "parallel" or "aggregate".
+// "fast", "exact", "parallel", "aggregate" or "aggregate-sparse".
 func ParseEngineKind(name string) (EngineKind, error) {
 	switch name {
 	case "fast":
@@ -170,6 +179,8 @@ func ParseEngineKind(name string) (EngineKind, error) {
 		return EngineAgentParallel, nil
 	case "aggregate":
 		return EngineAggregate, nil
+	case "aggregate-sparse":
+		return EngineAggregateSparse, nil
 	default:
 		return 0, fmt.Errorf("sim: unknown engine %q", name)
 	}
@@ -186,6 +197,8 @@ func (k EngineKind) String() string {
 		return "agent-parallel"
 	case EngineAggregate:
 		return "aggregate"
+	case EngineAggregateSparse:
+		return "aggregate-sparse"
 	default:
 		return "unknown"
 	}
@@ -247,6 +260,23 @@ type AggregateProtocol interface {
 	// already folded in), and src the round's randomness. The update must
 	// be agent-level exact in distribution.
 	StepOccupancy(occ, next *Occupancy, xObs float64, src *rng.Source)
+}
+
+// SparseAggregateProtocol extends AggregateProtocol with the
+// degree-annealed round update used by EngineAggregateSparse: every
+// agent's k observation targets are a fresh uniform draw from the
+// population, so its neighborhood holds j ~ B(k, x) one-opinions and
+// each observation reads 1 with probability observedFraction(j/k,
+// noiseEps) given j. Unlike StepOccupancy, noise folds in per
+// neighborhood class, so the raw fraction and noise level pass through.
+type SparseAggregateProtocol interface {
+	AggregateProtocol
+	// StepOccupancySparse advances one synchronous round under the
+	// annealed k-neighbor observation law. x is the raw fraction of
+	// 1-opinions and noiseEps the per-observation flip probability; the
+	// update must be agent-level exact in distribution for the
+	// configuration-model neighborhood.
+	StepOccupancySparse(occ, next *Occupancy, k int, x, noiseEps float64, src *rng.Source)
 }
 
 // AggregateInitializer is implemented by initializers that can report how

@@ -263,6 +263,30 @@ func fillKOutRowN(i, n int, src *rng.Batch, row []int32) {
 	}
 }
 
+// fillKOutRowNSrc is fillKOutRowN drawing straight from a Source: the
+// Batch consumes the identical value sequence (it is a prefetch of the
+// same stream), so both produce the same row — the direct form serves
+// hot per-bind resampling where a buffer round-trip costs more than it
+// saves.
+func fillKOutRowNSrc(i, n int, src *rng.Source, row []int32) {
+	for j := range row {
+	draw:
+		for {
+			v := int32(src.Intn(n))
+			if int(v) == i {
+				continue
+			}
+			for _, prev := range row[:j] {
+				if prev == v {
+					continue draw
+				}
+			}
+			row[j] = v
+			break
+		}
+	}
+}
+
 // smallWorld is the Watts–Strogatz construction.
 type smallWorld struct {
 	k    int
@@ -381,6 +405,14 @@ type Graph struct {
 	adj    []int32
 	seed   uint64
 	dyn    *dynamicRewire // nil for static topologies
+	// plan is the frozen CSR gather plan over the opinion-bitset word
+	// layout (see gather.go), rebuilt alongside adj; nil when the
+	// out-degree exceeds maxGatherDegree. planLive reports whether the
+	// plan actually beats a direct row gather (neighbors share words) —
+	// scattered graphs keep the plan's arrays for Rebuild reuse but leave
+	// it dormant.
+	plan     *gatherPlan
+	planLive bool
 }
 
 // N returns the population size the graph was built for.
@@ -427,6 +459,7 @@ func build(t rowTopology, n int, seed uint64, workers int) (*Graph, error) {
 	spec := t.rowSpec(n)
 	g := &Graph{n: n, deg: spec.deg, adj: make([]int32, n*spec.deg), seed: seed, dyn: spec.dyn}
 	g.fillRows(spec.fill, workers)
+	g.refreshPlan()
 	return g, nil
 }
 
@@ -454,6 +487,10 @@ func Rebuild(g *Graph, t Topology, n int, seed uint64, workers int) error {
 	}
 	g.seed = seed
 	g.fillRows(spec.fill, workers)
+	// The gather plan indexes the rows just refilled; refresh it in the
+	// same pass so Views (which read the plan through the graph pointer)
+	// observe a consistent adjacency/plan pair.
+	g.refreshPlan()
 	return nil
 }
 
@@ -504,14 +541,31 @@ type View struct {
 	row     []int32
 	scratch []int32
 	src     rng.Source // rewire-decision stream, reseeded per (round, agent)
-	batch   rng.Batch  // bulk consumer over src for row resampling
 	round   int
+	// roundSeed caches StreamSeed(g.seed, round+1) — the per-round root
+	// all agents' rewire streams derive from — keyed by the (round, seed)
+	// pair it was computed for, so Bind pays one derivation per agent
+	// instead of two.
+	roundSeed uint64
+	rsRound   int
+	rsSeed    uint64
+	rsValid   bool
+	// rewireThresh is rng.UnitThreshold(p) for the dynamic rewire
+	// probability: the coin compares the raw first output in integers.
+	rewireThresh uint64
+	// agent is the bound agent and onBase whether its current row is the
+	// built (static) one — the pair RowBits needs to route a gather
+	// through the frozen plan.
+	agent  int
+	onBase bool
 }
 
 // NewView returns a fresh read handle over the graph.
 func (g *Graph) NewView() *View {
 	v := &View{g: g, scratch: make([]int32, g.deg)}
-	v.batch.Init(&v.src, g.deg)
+	if g.dyn != nil {
+		v.rewireThresh = rng.UnitThreshold(g.dyn.p)
+	}
 	return v
 }
 
@@ -525,22 +579,38 @@ func (v *View) NewRound(round int) { v.round = round }
 // derived from (graph seed, round, agent) alone.
 func (v *View) Bind(agent int) {
 	base := v.g.Base(agent)
+	v.agent = agent
+	v.onBase = true
 	d := v.g.dyn
 	if d == nil {
 		v.row = base
 		return
 	}
-	v.src.Reseed(rng.StreamSeed(rng.StreamSeed(v.g.seed, uint64(v.round)+1), uint64(agent)))
-	if !v.src.Bernoulli(d.p) {
+	if !v.rsValid || v.rsRound != v.round || v.rsSeed != v.g.seed {
+		v.rsRound, v.rsSeed, v.rsValid = v.round, v.g.seed, true
+		v.roundSeed = rng.StreamSeed(v.g.seed, uint64(v.round)+1)
+	}
+	seed := rng.StreamSeed(v.roundSeed, uint64(agent))
+	// The rewire coin is the first Float64 of the (round, agent) stream;
+	// FirstRaw reads it without a full reseed and UnitThreshold turns the
+	// float comparison into an integer one, so the common keep-the-row
+	// outcome costs three SplitMix64 steps and a compare. (p outside
+	// (0, 1) short-circuits exactly like Source.Bernoulli: p ≤ 0 keeps the
+	// row for every coin, p ≥ 1 rewires for every coin.)
+	if d.p < 1 && !(d.p > 0 && rng.FirstRaw(seed)>>11 < v.rewireThresh) {
 		v.row = base
 		return
 	}
-	// Resample the row through the batch: the deg-ish draws arrive in one
-	// bulk fill, consuming exactly the values the per-draw loop would,
-	// and any pre-generated leftovers die with this (round, agent) stream
-	// at the next reseed.
-	v.batch.Reset()
-	fillKOutRowN(agent, v.g.n, &v.batch, v.scratch)
+	v.onBase = false
+	// Rewired: construct the stream for real and replay the coin draw, so
+	// the resampling below consumes exactly the values the single-stream
+	// per-draw path would. The row draws come straight off the source —
+	// Batch.Intn replays Source.Intn value-for-value, so for the handful
+	// of draws a row needs, direct sampling yields the identical row
+	// without the buffer round-trip.
+	v.src.Reseed(seed)
+	v.src.Bernoulli(d.p)
+	fillKOutRowNSrc(agent, v.g.n, &v.src, v.scratch)
 	v.row = v.scratch
 }
 

@@ -3,6 +3,7 @@ package topo
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"passivespread/internal/rng"
@@ -280,5 +281,138 @@ func TestValidateRejectsOverInt32Populations(t *testing.T) {
 	}
 	if err := Complete().Validate(huge); err != nil {
 		t.Errorf("Complete rejected n = %d: %v (no graph, no bound)", huge, err)
+	}
+}
+
+// TestRebuildShapeMismatch: Rebuild refills in place and must refuse
+// any shape change — population, out-degree, or rewire rule — and any
+// topology that has no row representation at all.
+func TestRebuildShapeMismatch(t *testing.T) {
+	g, err := RandomRegular(8).Build(128, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		tp   Topology
+		n    int
+	}{
+		{"population mismatch", RandomRegular(8), 256},
+		{"degree mismatch", RandomRegular(6), 128},
+		{"rewire-rule mismatch", DynamicRewire(8, 0.2), 128},
+		{"complete cannot rebuild", Complete(), 128},
+	} {
+		if err := Rebuild(g, tc.tp, tc.n, 2, 2); err == nil {
+			t.Errorf("%s: Rebuild accepted", tc.name)
+		}
+	}
+	// A dynamic graph must also refuse a different rewire probability.
+	dg, err := DynamicRewire(8, 0.2).Build(128, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Rebuild(dg, DynamicRewire(8, 0.7), 128, 2, 2); err == nil {
+		t.Error("rewire-probability mismatch: Rebuild accepted")
+	}
+	if err := Rebuild(dg, DynamicRewire(8, 0.2), 128, 2, 2); err != nil {
+		t.Errorf("same-shape dynamic Rebuild rejected: %v", err)
+	}
+}
+
+// TestRebuildMatchesFreshBuild: after a reseed, both the adjacency and
+// the frozen gather plan (exercised through View.RowBits) must be
+// indistinguishable from a graph freshly built at the new seed — a stale
+// plan would silently gather the previous replicate's neighbors.
+func TestRebuildMatchesFreshBuild(t *testing.T) {
+	const n = 512
+	words := make([]uint64, (n+63)/64)
+	wsrc := rng.NewFrom(99, 0)
+	for i := range words {
+		words[i] = wsrc.Uint64()
+	}
+	for _, tp := range []Topology{RandomRegular(8), SmallWorld(4, 0.3), DynamicRewire(6, 0.4)} {
+		g, err := tp.Build(n, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Rebuild(g, tp, n, 2, 4); err != nil {
+			t.Fatalf("%s: Rebuild: %v", tp.Name(), err)
+		}
+		fresh, err := tp.Build(n, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g.adj, fresh.adj) {
+			t.Fatalf("%s: rebuilt adjacency differs from a fresh build at the same seed", tp.Name())
+		}
+		if g.planLive != fresh.planLive {
+			t.Fatalf("%s: rebuilt planLive = %v, fresh = %v", tp.Name(), g.planLive, fresh.planLive)
+		}
+		vg, vf := g.NewView(), fresh.NewView()
+		for a := 0; a < n; a++ {
+			vg.Bind(a)
+			vf.Bind(a)
+			rg, okg := vg.RowBits(words)
+			rf, okf := vf.RowBits(words)
+			if okg != okf || rg != rf {
+				t.Fatalf("%s: agent %d RowBits (%x, %v) after Rebuild, fresh build gives (%x, %v)",
+					tp.Name(), a, rg, okg, rf, okf)
+			}
+		}
+	}
+}
+
+// TestViewValidAcrossRebuild: Views created before a Rebuild stay valid,
+// observe the new rows, and support concurrent per-worker reads of the
+// refreshed plan (run under -race in CI).
+func TestViewValidAcrossRebuild(t *testing.T) {
+	const n = 256
+	tp := SmallWorld(4, 0.3)
+	g, err := tp.Build(n, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := make([]*View, 8)
+	for i := range views {
+		views[i] = g.NewView() // created against the pre-Rebuild rows
+	}
+	if err := Rebuild(g, tp, n, 6, 4); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := tp.Build(n, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint64, (n+63)/64)
+	wsrc := rng.NewFrom(123, 0)
+	for i := range words {
+		words[i] = wsrc.Uint64()
+	}
+	want := make([]uint64, n)
+	vf := fresh.NewView()
+	for a := 0; a < n; a++ {
+		vf.Bind(a)
+		want[a], _ = vf.RowBits(words)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(views))
+	for w, v := range views {
+		wg.Add(1)
+		go func(w int, v *View) {
+			defer wg.Done()
+			for a := 0; a < n; a++ {
+				v.Bind(a)
+				got, ok := v.RowBits(words)
+				if !ok || got != want[a] {
+					errs <- fmt.Errorf("worker %d agent %d: RowBits %x (ok=%v), want %x", w, a, got, ok, want[a])
+					return
+				}
+			}
+		}(w, v)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -127,6 +127,13 @@ const (
 	// agents: rounds cost O(ℓ²) independent of n, reaching populations of
 	// 10⁸ and beyond with agent-level-exact statistics.
 	EngineAggregate = sim.EngineAggregate
+	// EngineAggregateSparse is the occupancy engine for degree-annealed
+	// sparse topologies (random-regular k-out and dynamic rewiring):
+	// rounds cost O(k·ℓ²) independent of n, so sparse-topology sweeps
+	// reach 10⁸ agents the way complete ones already do. Topologies with
+	// fixed local structure (ring, torus, small-world) are rejected with
+	// ErrInvalidOptions.
+	EngineAggregateSparse = sim.EngineAggregateSparse
 
 	// EngineMarkovChain selects the induced (K_t, K_{t+1}) opinion-count
 	// Markov chain of Observation 1 as a Study's replicate engine. It is
@@ -145,7 +152,7 @@ var ErrStopRun = sim.ErrStopRun
 func StopWhen(pred func(ev RoundEvent) bool) Observer { return sim.StopWhen(pred) }
 
 // ParseEngine returns the engine selected by a CLI-style name: "fast",
-// "exact", "parallel", "aggregate" or "chain".
+// "exact", "parallel", "aggregate", "aggregate-sparse" or "chain".
 func ParseEngine(name string) (EngineKind, error) {
 	if name == "chain" {
 		return EngineMarkovChain, nil
@@ -285,10 +292,18 @@ func (o Options) validate() error {
 		case EngineAggregate, EngineMarkovChain:
 			return fmt.Errorf("%w: engine %s is exact only under uniform mixing; topology %q needs an agent engine (fast, exact or parallel)",
 				ErrInvalidOptions, EngineName(o.Engine), o.Topology.Name())
+		case EngineAggregateSparse:
+			if _, ok := topo.AnnealedDegree(o.Topology); !ok {
+				return fmt.Errorf("%w: engine %s models degree-annealed topologies only; topology %q has fixed local structure and needs an agent engine",
+					ErrInvalidOptions, EngineName(o.Engine), o.Topology.Name())
+			}
 		}
 		if err := o.Topology.Validate(o.N); err != nil {
 			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 		}
+	} else if o.Engine == EngineAggregateSparse {
+		return fmt.Errorf("%w: engine %s requires a degree-annealed sparse topology; use %s under uniform mixing",
+			ErrInvalidOptions, EngineName(o.Engine), EngineName(EngineAggregate))
 	}
 	return nil
 }

@@ -251,14 +251,26 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 		}
 		seenTopo[name] = true
 		if topo.IsComplete(tp) {
+			for _, e := range engines {
+				if e == EngineAggregateSparse {
+					return nil, fmt.Errorf("%w: engine %s requires a degree-annealed sparse topology and cannot cross %q; sweep it separately",
+						ErrInvalidOptions, EngineName(e), name)
+				}
+			}
 			continue
 		}
 		anySparse = true
 		// Engine/topology incompatibilities fail for the whole grid, up
-		// front: the exact engines are exact only under uniform mixing.
+		// front: the exact engines are exact only under uniform mixing,
+		// and the sparse occupancy engine models annealed degrees only.
+		_, annealed := topo.AnnealedDegree(tp)
 		for _, e := range engines {
 			if e == EngineAggregate || e == EngineMarkovChain {
 				return nil, fmt.Errorf("%w: engine %s is exact only under uniform mixing and cannot cross topology %q; sweep it separately",
+					ErrInvalidOptions, EngineName(e), name)
+			}
+			if e == EngineAggregateSparse && !annealed {
+				return nil, fmt.Errorf("%w: engine %s models degree-annealed topologies only and cannot cross %q; sweep it separately",
 					ErrInvalidOptions, EngineName(e), name)
 			}
 		}

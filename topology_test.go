@@ -380,3 +380,59 @@ func TestCompleteSweepCSVSchemaStable(t *testing.T) {
 		t.Fatalf("cell topology %q, want \"complete\"", cells[0].Topology)
 	}
 }
+
+// runCLIGolden executes a built CLI tool and returns its combined
+// output, tolerating exit code 1 — fetsim reports "not all replicates
+// converged" through its exit status, and the sparse goldens were
+// deliberately captured at short horizons where that is the expected
+// outcome. Any other failure is a real error.
+func runCLIGolden(t *testing.T, bin string, args ...string) []byte {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+	}
+	return out
+}
+
+// TestGoldenSparseTopologyByteIdentical: the sparse-topology regression
+// guard for the CSR gather rewrite. The three fixtures were captured
+// from the per-neighbor-draw tree at fixed seeds; the batched-RNG path
+// (packed rows, bind-time whole-round popcounts, deferred homogeneous
+// jumps) must reproduce every byte — the rewrite is stream-exact, not
+// just distributionally equal.
+func TestGoldenSparseTopologyByteIdentical(t *testing.T) {
+	bin := buildCLITools(t)
+	cases := []struct {
+		golden string
+		tool   string
+		args   []string
+	}{
+		{"golden_sparse_fetsim.txt", "fetsim", []string{
+			"-n", "1024", "-seed", "11", "-replicates", "8", "-init", "half",
+			"-topology", "random-regular:8", "-rounds", "96"}},
+		{"golden_sparse_fetsim_traj.txt", "fetsim", []string{
+			"-n", "512", "-seed", "3", "-init", "half",
+			"-topology", "dynamic:8:0.2", "-trajectory", "-rounds", "64"}},
+		{"golden_sparse_fetsweep.csv", "fetsweep", []string{
+			"-ns", "256,1024", "-trials", "8", "-scenarios", "worst-case",
+			"-topologies", "random-regular:8,small-world:4:0.1,dynamic:8:0.2",
+			"-seed", "9", "-workers", "4", "-rounds", "120", "-format", "csv"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			golden, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := runCLIGolden(t, filepath.Join(bin, tc.tool), tc.args...)
+			if !bytes.Equal(out, golden) {
+				t.Fatalf("%s output diverged from the pre-rewrite golden:\n--- golden\n%s\n--- got\n%s",
+					tc.tool, golden, out)
+			}
+		})
+	}
+}
