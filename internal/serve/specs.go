@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"embed"
+	"net/http"
+)
+
+// The per-tool acceptance specs ship inside the binary and are served
+// at /v1/specs/<tool>, so a running daemon documents its own contract
+// (and the spec-coverage test can assert every tool has one).
+//
+//go:embed specs/*.md
+var specFS embed.FS
+
+// Spec returns the embedded acceptance spec for a tool name.
+func Spec(tool string) ([]byte, bool) {
+	data, err := specFS.ReadFile("specs/" + tool + ".md")
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// handleSpecIndex lists the tools with specs (all of them).
+func (s *Server) handleSpecIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string][]string{"tools": ToolNames()})
+}
+
+// handleSpec serves one tool's spec as markdown.
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	tool := r.PathValue("tool")
+	data, ok := Spec(tool)
+	if !ok {
+		writeError(w, Errorf(CodeNotFound, "no spec for tool %q; known tools: %v", tool, ToolNames()))
+		return
+	}
+	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+	w.Write(data)
+}

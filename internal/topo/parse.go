@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -124,9 +125,12 @@ type Spec struct {
 	Description string
 }
 
-// Specs returns the built-in topology families in listing order.
+// Specs returns the built-in topology families sorted by family name,
+// so every user-facing listing (fetlab -topologies, fetserve's
+// fet.scenarios.list, docs) renders identically and stays stable as
+// families are added.
 func Specs() []Spec {
-	return []Spec{
+	specs := []Spec{
 		{"complete", "uniform mixing over the whole population (the paper's model; default)"},
 		{"ring[:k]", fmt.Sprintf("cycle, k nearest neighbors per side (out-degree 2k; default k = %d)", DefaultRingK)},
 		{"torus", "√n × √n wraparound grid, 4-neighbor observation (perfect-square n)"},
@@ -134,6 +138,8 @@ func Specs() []Spec {
 		{"small-world[:k[:beta]]", fmt.Sprintf("Watts–Strogatz: ring:k base, out-edges rewired w.p. beta (defaults %d, %g)", DefaultSmallWorldK, DefaultBeta)},
 		{"dynamic[:k[:p]]", fmt.Sprintf("random k-out, each agent's row resampled w.p. p per round (defaults %d, %g)", DefaultRewireK, DefaultRewireP)},
 	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Spec < specs[j].Spec })
+	return specs
 }
 
 // checkParams rejects parameters that no population size could accept

@@ -227,8 +227,14 @@ func FractionInit(x float64) Initializer { return adversary.Fraction{X: x} }
 func HalfInit() Initializer { return adversary.HalfSplit() }
 
 // ErrInvalidOptions is wrapped by every validation error returned from
-// NewStudy, Disseminate and Run for a malformed Options value, so callers
-// can test with errors.Is without matching message text.
+// NewStudy, NewSweep, Disseminate and Run for a malformed specification,
+// so callers can test with errors.Is without matching message text.
+//
+// Message convention: the text after the sentinel takes the form
+// "[context: ]Field: reason" — the offending field is always named
+// first (e.g. "N: 1, want ≥ 2", "scenario \"noisy\": NoiseEps: 0.7,
+// want in [0, 1/2)"), so services such as fetserve can surface the
+// message verbatim in typed invalidArgument payloads.
 var ErrInvalidOptions = errors.New("passivespread: invalid options")
 
 // Options configures Disseminate and the Options form of a StudySpec.
@@ -271,38 +277,38 @@ type Options struct {
 // every failure in ErrInvalidOptions.
 func (o Options) validate() error {
 	if o.N < 2 {
-		return fmt.Errorf("%w: N = %d, need at least 2 agents", ErrInvalidOptions, o.N)
+		return fmt.Errorf("%w: N: %d, want ≥ 2", ErrInvalidOptions, o.N)
 	}
 	if o.Ell < 0 {
-		return fmt.Errorf("%w: Ell = %d, want ≥ 0", ErrInvalidOptions, o.Ell)
+		return fmt.Errorf("%w: Ell: %d, want ≥ 0", ErrInvalidOptions, o.Ell)
 	}
 	if o.Sources < 0 || o.Sources >= o.N {
-		return fmt.Errorf("%w: Sources = %d out of range [0, N)", ErrInvalidOptions, o.Sources)
+		return fmt.Errorf("%w: Sources: %d, want in [0, N)", ErrInvalidOptions, o.Sources)
 	}
 	if o.MaxRounds < 0 {
-		return fmt.Errorf("%w: MaxRounds = %d, want ≥ 0", ErrInvalidOptions, o.MaxRounds)
+		return fmt.Errorf("%w: MaxRounds: %d, want ≥ 0", ErrInvalidOptions, o.MaxRounds)
 	}
 	if o.Parallelism < 0 {
-		return fmt.Errorf("%w: Parallelism = %d, want ≥ 0", ErrInvalidOptions, o.Parallelism)
+		return fmt.Errorf("%w: Parallelism: %d, want ≥ 0", ErrInvalidOptions, o.Parallelism)
 	}
 	if !topo.IsComplete(o.Topology) {
 		// Engine/topology incompatibilities fail here, up front, instead of
 		// surfacing from inside a Study worker mid-batch.
 		switch o.Engine {
 		case EngineAggregate, EngineMarkovChain:
-			return fmt.Errorf("%w: engine %s is exact only under uniform mixing; topology %q needs an agent engine (fast, exact or parallel)",
+			return fmt.Errorf("%w: Engine: %s is exact only under uniform mixing; topology %q needs an agent engine (fast, exact or parallel)",
 				ErrInvalidOptions, EngineName(o.Engine), o.Topology.Name())
 		case EngineAggregateSparse:
 			if _, ok := topo.AnnealedDegree(o.Topology); !ok {
-				return fmt.Errorf("%w: engine %s models degree-annealed topologies only; topology %q has fixed local structure and needs an agent engine",
+				return fmt.Errorf("%w: Engine: %s models degree-annealed topologies only; topology %q has fixed local structure and needs an agent engine",
 					ErrInvalidOptions, EngineName(o.Engine), o.Topology.Name())
 			}
 		}
 		if err := o.Topology.Validate(o.N); err != nil {
-			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+			return fmt.Errorf("%w: Topology: %v", ErrInvalidOptions, err)
 		}
 	} else if o.Engine == EngineAggregateSparse {
-		return fmt.Errorf("%w: engine %s requires a degree-annealed sparse topology; use %s under uniform mixing",
+		return fmt.Errorf("%w: Engine: %s requires a degree-annealed sparse topology; use %s under uniform mixing",
 			ErrInvalidOptions, EngineName(o.Engine), EngineName(EngineAggregate))
 	}
 	return nil
@@ -364,7 +370,7 @@ func (o Options) config() (Config, error) {
 // counts, not agents) and is only available through NewStudy.
 func Disseminate(opts Options) (Result, error) {
 	if opts.Engine == EngineMarkovChain {
-		return Result{}, fmt.Errorf("%w: EngineMarkovChain is only available through NewStudy", ErrInvalidOptions)
+		return Result{}, fmt.Errorf("%w: Engine: EngineMarkovChain is only available through NewStudy", ErrInvalidOptions)
 	}
 	study, err := NewStudy(StudySpec{Replicates: 1, Workers: 1, Options: opts})
 	if err != nil {

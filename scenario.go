@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"passivespread/internal/adversary"
@@ -108,24 +109,26 @@ func (sc Scenario) resolved() (Initializer, int) {
 }
 
 // validate checks the scenario's own fields (grid-independent).
+// Messages follow the repository's "field: reason" error convention
+// (see ErrInvalidOptions), with a "scenario %q: " context prefix.
 func (sc Scenario) validate() error {
 	if sc.Name == "" {
-		return fmt.Errorf("%w: scenario has no name", ErrInvalidOptions)
+		return fmt.Errorf("%w: Name: scenario name is required", ErrInvalidOptions)
 	}
 	if sc.NoiseEps < 0 || sc.NoiseEps >= 0.5 {
-		return fmt.Errorf("%w: scenario %q: NoiseEps = %v, want in [0, 1/2)", ErrInvalidOptions, sc.Name, sc.NoiseEps)
+		return fmt.Errorf("%w: scenario %q: NoiseEps: %v, want in [0, 1/2)", ErrInvalidOptions, sc.Name, sc.NoiseEps)
 	}
 	if sc.FlipFrac < 0 || sc.FlipFrac >= 1 {
-		return fmt.Errorf("%w: scenario %q: FlipFrac = %v, want in [0, 1)", ErrInvalidOptions, sc.Name, sc.FlipFrac)
+		return fmt.Errorf("%w: scenario %q: FlipFrac: %v, want in [0, 1)", ErrInvalidOptions, sc.Name, sc.FlipFrac)
 	}
 	if sc.Sources < 0 {
-		return fmt.Errorf("%w: scenario %q: Sources = %d, want ≥ 0", ErrInvalidOptions, sc.Name, sc.Sources)
+		return fmt.Errorf("%w: scenario %q: Sources: %d, want ≥ 0", ErrInvalidOptions, sc.Name, sc.Sources)
 	}
 	if sc.Run == nil && sc.EngineLabel != "" {
-		return fmt.Errorf("%w: scenario %q: EngineLabel is only meaningful with a custom Run", ErrInvalidOptions, sc.Name)
+		return fmt.Errorf("%w: scenario %q: EngineLabel: only meaningful with a custom Run", ErrInvalidOptions, sc.Name)
 	}
 	if sc.Run != nil && sc.Topology != nil {
-		return fmt.Errorf("%w: scenario %q: a custom Run defines its own scheduling and cannot pin a Topology",
+		return fmt.Errorf("%w: scenario %q: Topology: a custom Run defines its own scheduling and cannot pin a topology",
 			ErrInvalidOptions, sc.Name)
 	}
 	return nil
@@ -195,8 +198,8 @@ func (sc Scenario) options(n, ell, maxRounds int, cellSeed uint64) Options {
 	}
 }
 
-// The scenario registry. Registration order is preserved (listings show
-// the worst case first, extensions last).
+// The scenario registry. Registration order is tracked internally, but
+// every listing surface sorts by name (Scenarios).
 
 var (
 	scenarioMu    sync.Mutex
@@ -229,13 +232,16 @@ func mustRegisterScenario(sc Scenario) {
 	}
 }
 
-// Scenarios returns every registered scenario in registration order
-// (built-ins first).
+// Scenarios returns every registered scenario sorted by name, so every
+// user-facing listing (fetlab -scenarios, fetserve's fet.scenarios.list,
+// docs) renders identically regardless of registration order.
 func Scenarios() []Scenario {
 	scenarioMu.Lock()
 	defer scenarioMu.Unlock()
-	out := make([]Scenario, 0, len(scenarioOrder))
-	for _, name := range scenarioOrder {
+	names := append([]string(nil), scenarioOrder...)
+	sort.Strings(names)
+	out := make([]Scenario, 0, len(names))
+	for _, name := range names {
 		out = append(out, scenarioByNm[name])
 	}
 	return out
@@ -319,8 +325,7 @@ func init() {
 	})
 	// The sparse-* presets drop the paper's uniform-mixing assumption:
 	// the same worst-case start on structured observation topologies
-	// (internal/topo). They register last so pre-topology listings keep
-	// their positions.
+	// (internal/topo).
 	mustRegisterScenario(Scenario{
 		Name:        "sparse-regular",
 		Description: "worst case on a random 8-out observation digraph (uniform mixing removed)",

@@ -3,26 +3,36 @@ package passivespread
 import (
 	"context"
 	"errors"
+	"sort"
 	"testing"
 )
 
 func TestScenarioRegistryBuiltins(t *testing.T) {
+	// Sorted by name: listings must be stable for docs and for
+	// fetserve's fet.scenarios.list, regardless of registration order.
 	want := []string{
-		"worst-case", "half-split", "uniform", "clean-start", "noisy",
-		"trend-flip", "multi-source", "simple-trend", "voter-control",
-		"async", "clocked-shared", "clocked-local",
-		"sparse-regular", "sparse-ring", "sparse-small-world", "sparse-dynamic",
+		"async", "clean-start", "clocked-local", "clocked-shared",
+		"half-split", "multi-source", "noisy", "simple-trend",
+		"sparse-dynamic", "sparse-regular", "sparse-ring", "sparse-small-world",
+		"trend-flip", "uniform", "voter-control", "worst-case",
 	}
 	all := Scenarios()
 	if len(all) < len(want) {
 		t.Fatalf("registry has %d scenarios, want at least %d", len(all), len(want))
 	}
-	for i, name := range want {
-		if all[i].Name != name {
-			t.Fatalf("scenario %d is %q, want %q (registration order)", i, all[i].Name, name)
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Name < all[j].Name }) {
+		t.Fatal("Scenarios() is not sorted by name")
+	}
+	names := make(map[string]bool, len(all))
+	for _, sc := range all {
+		names[sc.Name] = true
+		if sc.Description == "" {
+			t.Fatalf("scenario %q has no description", sc.Name)
 		}
-		if all[i].Description == "" {
-			t.Fatalf("scenario %q has no description", name)
+	}
+	for _, name := range want {
+		if !names[name] {
+			t.Fatalf("built-in scenario %q missing from Scenarios()", name)
 		}
 		if _, ok := ScenarioByName(name); !ok {
 			t.Fatalf("ScenarioByName(%q) missing", name)

@@ -1,0 +1,58 @@
+package passivespread_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"passivespread"
+)
+
+// BenchmarkServeQuery measures the fetserve answer path end to end
+// (mux, decode, resolve, hash, cache, encode) through the HTTP
+// handler. The two sub-benchmarks pin the subsystem's latency
+// acceptance criteria, gated in CI via BENCH_serve.json: a cache hit
+// must stay under 100 µs and an uncached chain-tier worst-case cell
+// under 10 ms even at the gate's 2.5x headroom.
+func BenchmarkServeQuery(b *testing.B) {
+	const path = "/v1/tools/fet.study.run"
+	const body = `{"n":4096,"engine":"chain","replicates":40,"seed":42}`
+
+	b.Run("cache-hit", func(b *testing.B) {
+		h := newServeHandler(b, passivespread.ServeConfig{Workers: 2})
+		warm := servePost(b, h, path, body)
+		if warm.Code != http.StatusOK {
+			b.Fatalf("warm run: %d %s", warm.Code, warm.Body)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("hit: %d", w.Code)
+			}
+		}
+		b.StopTimer()
+		if tier := servePost(b, h, path, body).Header().Get("X-Fetserve-Tier"); tier != "cache" {
+			b.Fatalf("benchmark did not measure the cache tier (got %q)", tier)
+		}
+	})
+
+	b.Run("chain-cold", func(b *testing.B) {
+		// A fresh daemon per iteration: every request is a true miss
+		// answered inline by the exact tier.
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			h := newServeHandler(b, passivespread.ServeConfig{Workers: 2})
+			req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+			w := httptest.NewRecorder()
+			b.StartTimer()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("cold run: %d %s", w.Code, w.Body)
+			}
+		}
+	})
+}

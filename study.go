@@ -116,10 +116,10 @@ type Study struct {
 // failures wrap ErrInvalidOptions.
 func NewStudy(spec StudySpec) (*Study, error) {
 	if spec.Replicates < 1 {
-		return nil, fmt.Errorf("%w: Replicates = %d, want ≥ 1", ErrInvalidOptions, spec.Replicates)
+		return nil, fmt.Errorf("%w: Replicates: %d, want ≥ 1", ErrInvalidOptions, spec.Replicates)
 	}
 	if spec.Workers < 0 {
-		return nil, fmt.Errorf("%w: Workers = %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
+		return nil, fmt.Errorf("%w: Workers: %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
 	}
 	workers := spec.Workers
 	if workers == 0 {
@@ -132,16 +132,16 @@ func NewStudy(spec StudySpec) (*Study, error) {
 
 	if spec.Config != nil {
 		if spec.Config.Engine == EngineMarkovChain {
-			return nil, fmt.Errorf("%w: EngineMarkovChain requires the Options form of StudySpec", ErrInvalidOptions)
+			return nil, fmt.Errorf("%w: Config: EngineMarkovChain requires the Options form of StudySpec", ErrInvalidOptions)
 		}
 		if len(spec.Config.Observers) > 0 && spec.Replicates > 1 {
-			return nil, fmt.Errorf("%w: Config.Observers are shared state; use StudySpec.Observe for %d replicates",
+			return nil, fmt.Errorf("%w: Config.Observers: shared state; use StudySpec.Observe for %d replicates",
 				ErrInvalidOptions, spec.Replicates)
 		}
 		s.cfg = *spec.Config
 		s.rootSeed = spec.Config.Seed
 		if err := s.cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+			return nil, fmt.Errorf("%w: Config: %v", ErrInvalidOptions, err)
 		}
 		s.pool = sim.NewPool()
 		return s, nil
@@ -149,7 +149,7 @@ func NewStudy(spec StudySpec) (*Study, error) {
 
 	if spec.Options.Engine == EngineMarkovChain {
 		if spec.Observe != nil {
-			return nil, fmt.Errorf("%w: EngineMarkovChain does not deliver round events; Observe is not supported", ErrInvalidOptions)
+			return nil, fmt.Errorf("%w: Observe: EngineMarkovChain does not deliver round events", ErrInvalidOptions)
 		}
 		return s.withChain(spec.Options)
 	}
@@ -173,7 +173,7 @@ func (s *Study) withChain(opts Options) (*Study, error) {
 		return nil, err
 	}
 	if opts.Sources > 1 {
-		return nil, fmt.Errorf("%w: EngineMarkovChain models exactly one source, got Sources = %d",
+		return nil, fmt.Errorf("%w: Sources: EngineMarkovChain models exactly one source, got %d",
 			ErrInvalidOptions, opts.Sources)
 	}
 	correct := OpinionOne
@@ -224,7 +224,7 @@ func chainStart(init Initializer, correct byte) (x0, x1 float64, err error) {
 		}
 		return x, x, nil
 	default:
-		return 0, 0, fmt.Errorf("%w: initializer %q is not supported by EngineMarkovChain",
+		return 0, 0, fmt.Errorf("%w: Init: initializer %q is not supported by EngineMarkovChain",
 			ErrInvalidOptions, init.Name())
 	}
 }

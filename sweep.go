@@ -89,6 +89,9 @@ type SweepCell struct {
 	Topology string
 	// N and Ell are the resolved grid values.
 	N, Ell int
+	// MaxRounds is the cell's resolved round cap (the spec override, or
+	// 400·log₂ n for this cell's n).
+	MaxRounds int
 	// Seed is the cell's derived root seed, StreamSeed(sweep seed, Index).
 	Seed uint64
 }
@@ -189,27 +192,27 @@ type Sweep struct {
 // pre-topology sweeps keep their exact cell indices and seeds.
 func NewSweep(spec SweepSpec) (*Sweep, error) {
 	if spec.Replicates < 1 {
-		return nil, fmt.Errorf("%w: Replicates = %d, want ≥ 1", ErrInvalidOptions, spec.Replicates)
+		return nil, fmt.Errorf("%w: Replicates: %d, want ≥ 1", ErrInvalidOptions, spec.Replicates)
 	}
 	if spec.Workers < 0 {
-		return nil, fmt.Errorf("%w: Workers = %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
+		return nil, fmt.Errorf("%w: Workers: %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
 	}
 	if spec.MaxRounds < 0 {
-		return nil, fmt.Errorf("%w: MaxRounds = %d, want ≥ 0", ErrInvalidOptions, spec.MaxRounds)
+		return nil, fmt.Errorf("%w: MaxRounds: %d, want ≥ 0", ErrInvalidOptions, spec.MaxRounds)
 	}
 	if spec.C < 0 || math.IsNaN(spec.C) {
-		return nil, fmt.Errorf("%w: C = %v, want > 0 (0 = DefaultC)", ErrInvalidOptions, spec.C)
+		return nil, fmt.Errorf("%w: C: %v, want > 0 (0 = DefaultC)", ErrInvalidOptions, spec.C)
 	}
 	if len(spec.Ns) == 0 {
-		return nil, fmt.Errorf("%w: Ns axis is empty", ErrInvalidOptions)
+		return nil, fmt.Errorf("%w: Ns: axis is empty", ErrInvalidOptions)
 	}
 	seenN := make(map[int]bool, len(spec.Ns))
 	for _, n := range spec.Ns {
 		if n < 2 {
-			return nil, fmt.Errorf("%w: population size %d, want ≥ 2", ErrInvalidOptions, n)
+			return nil, fmt.Errorf("%w: Ns: population size %d, want ≥ 2", ErrInvalidOptions, n)
 		}
 		if seenN[n] {
-			return nil, fmt.Errorf("%w: duplicate population size %d", ErrInvalidOptions, n)
+			return nil, fmt.Errorf("%w: Ns: duplicate population size %d", ErrInvalidOptions, n)
 		}
 		seenN[n] = true
 	}
@@ -220,10 +223,10 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	seenEll := make(map[int]bool, len(ells))
 	for _, ell := range ells {
 		if ell < 0 {
-			return nil, fmt.Errorf("%w: sample size ℓ = %d, want ≥ 0", ErrInvalidOptions, ell)
+			return nil, fmt.Errorf("%w: Ells: sample size %d, want ≥ 0", ErrInvalidOptions, ell)
 		}
 		if seenEll[ell] {
-			return nil, fmt.Errorf("%w: duplicate sample size ℓ = %d", ErrInvalidOptions, ell)
+			return nil, fmt.Errorf("%w: Ells: duplicate sample size %d", ErrInvalidOptions, ell)
 		}
 		seenEll[ell] = true
 	}
@@ -234,7 +237,7 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	seenEng := make(map[EngineKind]bool, len(engines))
 	for _, e := range engines {
 		if seenEng[e] {
-			return nil, fmt.Errorf("%w: duplicate engine %s", ErrInvalidOptions, EngineName(e))
+			return nil, fmt.Errorf("%w: Engines: duplicate engine %s", ErrInvalidOptions, EngineName(e))
 		}
 		seenEng[e] = true
 	}
@@ -247,13 +250,13 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	for _, tp := range topologies {
 		name := topo.DisplayName(tp)
 		if seenTopo[name] {
-			return nil, fmt.Errorf("%w: duplicate topology %q", ErrInvalidOptions, name)
+			return nil, fmt.Errorf("%w: Topologies: duplicate topology %q", ErrInvalidOptions, name)
 		}
 		seenTopo[name] = true
 		if topo.IsComplete(tp) {
 			for _, e := range engines {
 				if e == EngineAggregateSparse {
-					return nil, fmt.Errorf("%w: engine %s requires a degree-annealed sparse topology and cannot cross %q; sweep it separately",
+					return nil, fmt.Errorf("%w: Engines: engine %s requires a degree-annealed sparse topology and cannot cross %q; sweep it separately",
 						ErrInvalidOptions, EngineName(e), name)
 				}
 			}
@@ -266,11 +269,11 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 		_, annealed := topo.AnnealedDegree(tp)
 		for _, e := range engines {
 			if e == EngineAggregate || e == EngineMarkovChain {
-				return nil, fmt.Errorf("%w: engine %s is exact only under uniform mixing and cannot cross topology %q; sweep it separately",
+				return nil, fmt.Errorf("%w: Engines: engine %s is exact only under uniform mixing and cannot cross topology %q; sweep it separately",
 					ErrInvalidOptions, EngineName(e), name)
 			}
 			if e == EngineAggregateSparse && !annealed {
-				return nil, fmt.Errorf("%w: engine %s models degree-annealed topologies only and cannot cross %q; sweep it separately",
+				return nil, fmt.Errorf("%w: Engines: engine %s models degree-annealed topologies only and cannot cross %q; sweep it separately",
 					ErrInvalidOptions, EngineName(e), name)
 			}
 		}
@@ -279,7 +282,7 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	if len(scenarios) == 0 {
 		sc, ok := ScenarioByName(DefaultScenario)
 		if !ok {
-			return nil, fmt.Errorf("%w: default scenario %q is not registered", ErrInvalidOptions, DefaultScenario)
+			return nil, fmt.Errorf("%w: Scenarios: default scenario %q is not registered", ErrInvalidOptions, DefaultScenario)
 		}
 		scenarios = []Scenario{sc}
 	}
@@ -289,19 +292,19 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 			return nil, err
 		}
 		if seenSc[sc.Name] {
-			return nil, fmt.Errorf("%w: duplicate scenario %q", ErrInvalidOptions, sc.Name)
+			return nil, fmt.Errorf("%w: Scenarios: duplicate scenario %q", ErrInvalidOptions, sc.Name)
 		}
 		seenSc[sc.Name] = true
 		if sc.Run != nil && len(engines) > 1 {
-			return nil, fmt.Errorf("%w: scenario %q has its own scheduler and cannot cross the engine axis %v; sweep it separately",
+			return nil, fmt.Errorf("%w: Scenarios: scenario %q has its own scheduler and cannot cross the engine axis %v; sweep it separately",
 				ErrInvalidOptions, sc.Name, engineNames(engines))
 		}
 		if anySparse && sc.Run != nil {
-			return nil, fmt.Errorf("%w: scenario %q has its own scheduler and cannot cross a non-complete topology axis; sweep it separately",
+			return nil, fmt.Errorf("%w: Scenarios: scenario %q has its own scheduler and cannot cross a non-complete topology axis; sweep it separately",
 				ErrInvalidOptions, sc.Name)
 		}
 		if sc.Topology != nil && (anySparse || len(topologies) > 1) {
-			return nil, fmt.Errorf("%w: scenario %q pins topology %q and cannot cross the topology axis; sweep it separately",
+			return nil, fmt.Errorf("%w: Scenarios: scenario %q pins topology %q and cannot cross the topology axis; sweep it separately",
 				ErrInvalidOptions, sc.Name, sc.Topology.Name())
 		}
 	}
@@ -364,13 +367,14 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 func newSweepCell(idx int, sc Scenario, engine EngineKind, cellTopo Topology, n, ell, maxRounds, parallelism int,
 	cellSeed uint64, replicates int) (sweepCell, error) {
 	cell := sweepCell{meta: SweepCell{
-		Index:    idx,
-		Scenario: sc.Name,
-		Engine:   EngineName(engine),
-		Topology: topo.DisplayName(cellTopo),
-		N:        n,
-		Ell:      ell,
-		Seed:     cellSeed,
+		Index:     idx,
+		Scenario:  sc.Name,
+		Engine:    EngineName(engine),
+		Topology:  topo.DisplayName(cellTopo),
+		N:         n,
+		Ell:       ell,
+		MaxRounds: maxRounds,
+		Seed:      cellSeed,
 	}}
 	switch {
 	case sc.Run != nil:
@@ -384,7 +388,7 @@ func newSweepCell(idx int, sc Scenario, engine EngineKind, cellTopo Topology, n,
 		return cell, nil
 	case engine == EngineMarkovChain:
 		if !sc.chainCompatible() {
-			return cell, fmt.Errorf("%w: scenario %q is not expressible on the Markov-chain engine", ErrInvalidOptions, sc.Name)
+			return cell, fmt.Errorf("%w: Scenarios: scenario %q is not expressible on the Markov-chain engine", ErrInvalidOptions, sc.Name)
 		}
 		study, err := NewStudy(StudySpec{
 			Replicates: replicates,
