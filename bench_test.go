@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"passivespread/internal/checkpoint"
 	"passivespread/internal/core"
 	"passivespread/internal/dist"
 	"passivespread/internal/experiment"
@@ -356,4 +357,66 @@ func BenchmarkStudyReplicates(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
 		})
 	}
+}
+
+// BenchmarkSweepCheckpoint measures the per-cell cost the sweep fabric
+// adds: "save" is the durable envelope write on the completion path
+// (canonical JSON body, SHA-256 content address, temp file + rename);
+// "resume-hit" is the verified load a resumed runner pays to skip a
+// completed cell (filename hash, key, and body digest all re-checked).
+// Both use a real cell's canonical key and row body so sizes are
+// representative. Recorded baselines live in BENCH_sweep.json.
+func BenchmarkSweepCheckpoint(b *testing.B) {
+	spec := SweepSpec{
+		Ns:         []int{4096},
+		Engines:    []EngineKind{EngineMarkovChain},
+		Scenarios:  mustScenarios("worst-case"),
+		Replicates: 4,
+		Seed:       17,
+	}
+	sw, err := NewSweep(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := sw.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	art, err := sw.ShardArtifact(rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := art.Rows[0].Key
+	body, err := sweepRowBody(art.Rows[0].Row)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("save", func(b *testing.B) {
+		st, err := checkpoint.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Save(key, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resume-hit", func(b *testing.B) {
+		st, err := checkpoint.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Save(key, body); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := st.Load(key); !ok {
+				b.Fatal("checkpoint miss")
+			}
+		}
+	})
 }

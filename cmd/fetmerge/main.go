@@ -1,0 +1,86 @@
+// Command fetmerge joins sweep-shard artifacts into the single-runner
+// result — the merge half of the sharded sweep fabric. Each input is a
+// `fetsweep -format shard` JSON artifact; fetmerge verifies that the
+// artifacts form one complete, disjoint partition of the grid (exactly
+// the shards 1/m … m/m, every cell covered once, every row in its
+// shard's partition class, headers in agreement) and emits the merged
+// table. With -verify it additionally re-derives every row's content
+// addresses: the canonical cell key must parse and agree with the row
+// field by field, and the recorded SHA-256 digest must match the row's
+// canonical JSON — so a corrupt, truncated, or edited artifact cannot
+// merge silently.
+//
+// Usage:
+//
+//	fetsweep -ns 256,1024 -shard 1/2 -format shard > shard-1.json
+//	fetsweep -ns 256,1024 -shard 2/2 -format shard > shard-2.json
+//	fetmerge -verify -format csv shard-1.json shard-2.json > merged.csv
+//
+// Because every cell's row is a pure function of its canonical key,
+// the merged CSV/JSON is byte-identical to the same grid run by one
+// `fetsweep` process at any -workers value — the property the CI
+// sweep-fleet job enforces on every change.
+//
+// Exit codes: 0 on success, 1 when the artifacts do not merge or
+// verification fails, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"passivespread"
+)
+
+func main() {
+	var (
+		verify = flag.Bool("verify", false, "re-verify every row's cell key and body digest")
+		format = flag.String("format", "csv", "output format: csv or json")
+	)
+	flag.Parse()
+	switch *format {
+	case "csv", "json":
+	default:
+		fatalf(2, "unknown format %q (want csv or json)", *format)
+	}
+	if flag.NArg() == 0 {
+		fatalf(2, "usage: fetmerge [-verify] [-format csv|json] shard.json...")
+	}
+
+	artifacts := make([]*passivespread.ShardArtifact, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf(2, "%v", err)
+		}
+		a, err := passivespread.ParseShardArtifact(data)
+		if err != nil {
+			fatalf(1, "%s: %v", path, err)
+		}
+		artifacts = append(artifacts, a)
+	}
+
+	report, err := passivespread.MergeShards(artifacts, *verify)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+
+	switch *format {
+	case "csv":
+		if err := report.WriteCSV(os.Stdout); err != nil {
+			fatalf(1, "%v", err)
+		}
+	case "json":
+		data, err := report.JSON()
+		if err != nil {
+			fatalf(1, "%v", err)
+		}
+		fmt.Printf("%s\n", data)
+	}
+}
+
+func fatalf(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

@@ -32,6 +32,19 @@
 // convergence times per (scenario, engine) group spanning ≥ 2
 // population sizes — the Theorem 1 shape check. -format csv and
 // -format json emit the machine-readable artifacts instead.
+//
+// The sweep fabric flags distribute one grid across a fleet:
+//
+//	fetsweep -ns 256,1024 -shard 1/4 -checkpoint ckpt -format shard > shard-1.json
+//
+// -shard i/m runs only the cells c with c mod m == i-1 — same grid,
+// same cell indices, same seeds — so m runners' outputs join via
+// `fetmerge` into bytes identical to a single run. -checkpoint makes
+// each completed cell durable (atomic envelopes keyed by the cell's
+// canonical key hash): a killed run re-invoked with the same flags and
+// directory resumes mid-grid, skipping finished cells. -format shard
+// emits the mergeable artifact (rows plus per-cell keys and digests)
+// that `fetmerge -verify` checks and joins.
 package main
 
 import (
@@ -57,8 +70,10 @@ func main() {
 		rounds     = flag.Int("rounds", 0, "round cap per cell (0 = 400·log₂ n)")
 		seed       = flag.Uint64("seed", 42, "root random seed")
 		c          = flag.Float64("c", passivespread.DefaultC, "sample-size constant: ℓ = ⌈c·log₂ n⌉")
-		format     = flag.String("format", "table", "output format: table, csv or json")
+		format     = flag.String("format", "table", "output format: table, csv, json or shard")
 		chain      = flag.Bool("chain", false, "alias for -engines chain")
+		shard      = flag.String("shard", "", `run one deterministic grid slice: "i/m" (shard i of m, 1-based)`)
+		ckptDir    = flag.String("checkpoint", "", "durable per-cell checkpoint directory (resume mid-grid after a kill)")
 	)
 	flag.Parse()
 
@@ -92,22 +107,31 @@ func main() {
 		fatalf(2, "%v", err)
 	}
 	switch *format {
-	case "table", "csv", "json":
+	case "table", "csv", "json", "shard":
 	default:
-		fatalf(2, "unknown format %q (want table, csv or json)", *format)
+		fatalf(2, "unknown format %q (want table, csv, json or shard)", *format)
+	}
+	var shardSel passivespread.Shard
+	if *shard != "" {
+		shardSel, err = passivespread.ParseShard(*shard)
+		if err != nil {
+			fatalf(2, "-shard: %v", err)
+		}
 	}
 
 	sweep, err := passivespread.NewSweep(passivespread.SweepSpec{
-		Ns:         ns,
-		Ells:       ells,
-		C:          *c,
-		Engines:    engineKinds,
-		Topologies: topologyList,
-		Scenarios:  scenarioList,
-		Replicates: *trials,
-		Workers:    *workers,
-		Seed:       *seed,
-		MaxRounds:  *rounds,
+		Ns:            ns,
+		Ells:          ells,
+		C:             *c,
+		Engines:       engineKinds,
+		Topologies:    topologyList,
+		Scenarios:     scenarioList,
+		Replicates:    *trials,
+		Workers:       *workers,
+		Seed:          *seed,
+		MaxRounds:     *rounds,
+		Shard:         shardSel,
+		CheckpointDir: *ckptDir,
 	})
 	if err != nil {
 		fatalf(2, "%v", err)
@@ -125,6 +149,16 @@ func main() {
 		}
 	case "json":
 		data, err := report.JSON()
+		if err != nil {
+			fatalf(1, "%v", err)
+		}
+		fmt.Printf("%s\n", data)
+	case "shard":
+		artifact, err := sweep.ShardArtifact(report)
+		if err != nil {
+			fatalf(1, "%v", err)
+		}
+		data, err := artifact.JSON()
 		if err != nil {
 			fatalf(1, "%v", err)
 		}

@@ -1,0 +1,146 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"passivespread/internal/serve"
+)
+
+const testKey = "fetcell/v1 scenario=worst-case engine=agent-fast topology=complete n=64 ell=18 replicates=4 max_rounds=2400 seed=9"
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"cell":0,"n":64}`)
+	if _, ok := st.Load(testKey); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := st.Save(testKey, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Load(testKey)
+	if !ok || string(got) != string(body) {
+		t.Fatalf("Load = %q, %v; want %q, true", got, ok, body)
+	}
+	if n, err := st.Count(); err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v; want 1", n, err)
+	}
+	// Idempotent re-save.
+	if err := st.Save(testKey, body); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.Count(); n != 1 {
+		t.Fatalf("Count after re-save = %d, want 1", n)
+	}
+}
+
+func TestLoadRejectsCorruptEnvelopes(t *testing.T) {
+	body := []byte(`{"cell":3,"n":128}`)
+	hash := serve.HashHex(testKey)
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+	}{
+		{"truncated file", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, hash+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped body bit", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, hash+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tampered := strings.Replace(string(data), `"n":128`, `"n":129`, 1)
+			if tampered == string(data) {
+				t.Fatal("tamper target not found")
+			}
+			if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"foreign key under our name", func(t *testing.T, dir string) {
+			env, err := json.Marshal(Envelope{
+				Key:        testKey + "0", // different cell
+				BodySHA256: serve.HashHex(string(body)),
+				Body:       body,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, hash+".json"), env, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing file", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, hash+".json")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(testKey, body); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, dir)
+			if got, ok := st.Load(testKey); ok {
+				t.Fatalf("corrupt envelope accepted: %q", got)
+			}
+		})
+	}
+}
+
+// TestStaleTempFilesIgnored pins the crash-mid-write story: a leftover
+// *.tmp file (the state a SIGKILL between create and rename leaves) is
+// neither loaded nor counted as a checkpoint.
+func TestStaleTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cell-123.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Load(testKey); ok {
+		t.Fatal("temp file loaded as a checkpoint")
+	}
+	if n, err := st.Count(); err != nil || n != 0 {
+		t.Fatalf("Count = %d, %v; want 0", n, err)
+	}
+}
+
+func TestOpenCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "ckpt")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dir() != dir {
+		t.Fatalf("Dir = %q, want %q", st.Dir(), dir)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"passivespread/internal/checkpoint"
 	"passivespread/internal/rng"
 	"passivespread/internal/stats"
 	"passivespread/internal/topo"
@@ -73,6 +74,22 @@ type SweepSpec struct {
 	// set this explicitly to shard within replicates anyway). Any value
 	// yields bit-identical results.
 	Parallelism int
+	// Shard restricts execution to a deterministic 1/m slice of the
+	// grid: shard i of m owns every cell c with c mod m == i−1 (zero
+	// value = the whole grid). Sharding only selects which cells run —
+	// the grid, its cell indices, seeds, and keys stay those of the
+	// full sweep — so m runners' outputs merge (MergeShards, fetmerge)
+	// into bytes identical to a single runner's.
+	Shard Shard
+	// CheckpointDir enables durable per-cell checkpoints: each cell's
+	// row is persisted to this directory (atomic JSON envelopes keyed
+	// by the cell's canonical fetcell key hash) the moment the cell
+	// completes, and a rerun pointed at the same directory skips every
+	// validly checkpointed cell, resuming mid-grid after a crash or
+	// kill to byte-identical output. "" disables checkpointing.
+	// Requires every grid cell to be expressible as a canonical cell
+	// key (all registered-scenario sweeps are).
+	CheckpointDir string
 }
 
 // SweepCell identifies one grid cell of a prepared Sweep.
@@ -132,7 +149,8 @@ type SweepRow struct {
 // SweepReport is the aggregate output of Sweep.Run: completed rows in
 // cell order plus the planned grid size.
 type SweepReport struct {
-	// Cells is the number of planned grid cells.
+	// Cells is the full grid size — also for sharded runs, whose Rows
+	// hold only the shard's partition class.
 	Cells int `json:"cells"`
 	// Replicates is the per-cell replicate count.
 	Replicates int `json:"replicates"`
@@ -177,6 +195,14 @@ type Sweep struct {
 	cells      []sweepCell
 	replicates int
 	workers    int
+	seed       uint64
+	shard      Shard
+	planned    []int // cell indices this shard owns, ascending
+
+	ckpt    *checkpoint.Store
+	keys    []string // canonical cell keys, set iff ckpt != nil
+	ckptMu  sync.Mutex
+	ckptErr error
 }
 
 // NewSweep validates spec, expands the grid, and prepares every cell
@@ -202,6 +228,9 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	}
 	if spec.C < 0 || math.IsNaN(spec.C) {
 		return nil, fmt.Errorf("%w: C: %v, want > 0 (0 = DefaultC)", ErrInvalidOptions, spec.C)
+	}
+	if err := spec.Shard.validate(); err != nil {
+		return nil, err
 	}
 	if len(spec.Ns) == 0 {
 		return nil, fmt.Errorf("%w: Ns: axis is empty", ErrInvalidOptions)
@@ -317,7 +346,7 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	if parallelism == 0 {
 		parallelism = 1
 	}
-	s := &Sweep{replicates: spec.Replicates}
+	s := &Sweep{replicates: spec.Replicates, seed: spec.Seed, shard: spec.Shard}
 	s.cells = make([]sweepCell, 0, len(scenarios)*len(engines)*len(topologies)*len(spec.Ns)*len(ells))
 	for _, sc := range scenarios {
 		for _, engine := range engines {
@@ -352,12 +381,37 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 		}
 	}
 
+	// The shard's share of the grid: its cell indices in ascending
+	// (expansion) order. An unsharded sweep owns every cell; a shard
+	// with no cells (m > grid size, high index) is a valid empty run.
+	for idx := range s.cells {
+		if s.shard.owns(idx) {
+			s.planned = append(s.planned, idx)
+		}
+	}
+
+	if spec.CheckpointDir != "" {
+		keys, err := s.canonicalKeys()
+		if err != nil {
+			return nil, err
+		}
+		store, err := checkpoint.Open(spec.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("%w: CheckpointDir: %v", ErrInvalidOptions, err)
+		}
+		s.keys = keys
+		s.ckpt = store
+	}
+
 	workers := spec.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if total := len(s.cells) * spec.Replicates; workers > total {
+	if total := len(s.planned) * spec.Replicates; workers > total {
 		workers = total
+	}
+	if workers < 1 {
+		workers = 1 // an empty shard still needs a well-formed (idle) pool
 	}
 	s.workers = workers
 	return s, nil
@@ -435,11 +489,73 @@ func (s *Sweep) Replicates() int { return s.replicates }
 // Workers returns the resolved shared worker-pool size.
 func (s *Sweep) Workers() int { return s.workers }
 
+// Shard returns the sweep's shard selector (zero value = whole grid).
+func (s *Sweep) Shard() Shard { return s.shard }
+
+// PlannedCells returns how many grid cells this sweep will execute —
+// the whole grid unsharded, or this shard's partition class.
+func (s *Sweep) PlannedCells() int { return len(s.planned) }
+
+// CheckpointErr returns the first checkpoint-write failure of the
+// current or last run, if any. Results delivered before or after the
+// failure are still correct; only durability (resume skipping) is
+// degraded. Run surfaces this error itself; Stream callers should
+// check it after draining.
+func (s *Sweep) CheckpointErr() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.ckptErr
+}
+
+// loadCheckpoint loads and verifies cell's checkpointed row: the
+// envelope must be content-address-valid (checkpoint.Store.Load), and
+// the row inside must describe exactly this cell — matching index,
+// identity columns, seed, and replicate count. Anything less is a miss
+// and the cell re-runs, which is always correct.
+func (s *Sweep) loadCheckpoint(cell int) (SweepRow, bool) {
+	body, ok := s.ckpt.Load(s.keys[cell])
+	if !ok {
+		return SweepRow{}, false
+	}
+	var row SweepRow
+	if err := json.Unmarshal(body, &row); err != nil {
+		return SweepRow{}, false
+	}
+	m := s.cells[cell].meta
+	if row.Cell != m.Index || row.Scenario != m.Scenario || row.Engine != m.Engine ||
+		row.Topology != m.Topology || row.N != m.N || row.Ell != m.Ell ||
+		row.Seed != m.Seed || row.Replicates != s.replicates || row.Err != "" {
+		return SweepRow{}, false
+	}
+	return row, true
+}
+
+// saveCheckpoint persists a completed cell's row, recording the first
+// write failure instead of aborting the grid (the row itself is still
+// delivered).
+func (s *Sweep) saveCheckpoint(cell int, row SweepRow) {
+	body, err := sweepRowBody(row)
+	if err == nil {
+		err = s.ckpt.Save(s.keys[cell], body)
+	}
+	if err != nil {
+		s.ckptMu.Lock()
+		if s.ckptErr == nil {
+			s.ckptErr = fmt.Errorf("passivespread: sweep cell %d: %w", cell, err)
+		}
+		s.ckptMu.Unlock()
+	}
+}
+
 // Stream starts the sweep and returns a channel delivering each cell's
 // SweepRow as its last replicate finishes (completion order; row content
-// is deterministic regardless of order). All cells × replicates work
-// items feed one shared worker pool. The channel is closed once every
-// cell has been delivered or the context has ended; after cancellation,
+// is deterministic regardless of order). All planned cells × replicates
+// work items feed one shared worker pool; a sharded sweep plans only
+// its own partition class. With a checkpoint directory configured,
+// validly checkpointed cells are delivered up front (cell order) without
+// running, and every newly completed cell is durably checkpointed before
+// its row is delivered. The channel is closed once every planned cell
+// has been delivered or the context has ended; after cancellation,
 // completed cells already streamed stand, interrupted cells are dropped,
 // and in-flight replicates finish within one simulated round. The caller
 // must drain the channel or cancel ctx, or the pool leaks.
@@ -447,6 +563,30 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 	out := make(chan SweepRow)
 	go func() {
 		defer close(out)
+		// Resume pass: planned cells with a valid checkpoint replay
+		// their stored row and never enter the pool; the rest run.
+		todo := s.planned
+		if s.ckpt != nil {
+			todo = make([]int, 0, len(s.planned))
+		restore:
+			for _, c := range s.planned {
+				row, ok := s.loadCheckpoint(c)
+				if !ok {
+					todo = append(todo, c)
+					continue
+				}
+				s.cells[c].release()
+				select {
+				case out <- row:
+				case <-ctx.Done():
+					break restore // cancelled: nothing more runs
+				}
+			}
+			if ctx.Err() != nil {
+				todo = nil
+			}
+		}
+
 		type task struct{ cell, rep int }
 		type taskDone struct {
 			cell int
@@ -471,7 +611,7 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 		}
 		go func() {
 		feed:
-			for c := range s.cells {
+			for _, c := range todo {
 				for r := 0; r < s.replicates; r++ {
 					select {
 					case tasks <- task{c, r}:
@@ -507,6 +647,13 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 			s.cells[cell].release()
 			if !ok {
 				continue // interrupted mid-run; drop, don't misreport
+			}
+			// Durability point: the checkpoint hits disk before the row
+			// is delivered, so a consumer never sees a result the fabric
+			// could lose. Rows carrying a replicate failure are not
+			// persisted — a rerun re-attempts them.
+			if s.ckpt != nil && row.Err == "" {
+				s.saveCheckpoint(cell, row)
 			}
 			select {
 			case out <- row:
@@ -564,28 +711,35 @@ func (s *Sweep) row(cell int, results []RunResult) (SweepRow, bool) {
 	return row, true
 }
 
-// Run executes the whole grid across the shared worker pool and returns
-// the rows ordered by cell index — bit-identical for any Workers value
-// on a fixed root seed. On context cancellation Run returns the
-// completed rows alongside ctx.Err(); on a replicate failure it returns
-// the full report alongside an error naming the first failing cell.
+// Run executes the planned grid (the whole grid, or this shard's slice
+// of it) across the shared worker pool and returns the rows ordered by
+// cell index — bit-identical for any Workers value on a fixed root
+// seed, whether cells ran fresh or replayed from checkpoints. On
+// context cancellation Run returns the completed rows alongside
+// ctx.Err(); on a replicate failure it returns the full report
+// alongside an error naming the first failing cell; on a
+// checkpoint-write failure it returns the complete report alongside
+// the durability error.
 func (s *Sweep) Run(ctx context.Context) (*SweepReport, error) {
 	rep := &SweepReport{Cells: len(s.cells), Replicates: s.replicates}
 	for row := range s.Stream(ctx) {
 		rep.Rows = append(rep.Rows, row)
 	}
 	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Cell < rep.Rows[j].Cell })
-	if len(rep.Rows) < len(s.cells) {
+	if len(rep.Rows) < len(s.planned) {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
-		return rep, fmt.Errorf("passivespread: sweep lost %d of %d cells", len(s.cells)-len(rep.Rows), len(s.cells))
+		return rep, fmt.Errorf("passivespread: sweep lost %d of %d planned cells", len(s.planned)-len(rep.Rows), len(s.planned))
 	}
 	for _, row := range rep.Rows {
 		if row.Err != "" {
 			return rep, fmt.Errorf("passivespread: sweep cell %d (scenario %s, engine %s, n=%d, ℓ=%d): %s",
 				row.Cell, row.Scenario, row.Engine, row.N, row.Ell, row.Err)
 		}
+	}
+	if err := s.CheckpointErr(); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }
