@@ -1,0 +1,206 @@
+package passivespread
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// scenarioSpec builds a Config-form StudySpec from a registered scenario
+// preset, resolving the grid values the way a sweep cell would.
+func scenarioSpec(t *testing.T, name string, n int, seed uint64) StudySpec {
+	t.Helper()
+	sc, ok := ScenarioByName(name)
+	if !ok {
+		t.Fatalf("scenario %q is not registered", name)
+	}
+	cfg := sc.config(n, SampleSize(n), DefaultMaxRounds(n), EngineAgentFast, sc.Topology, 1, seed)
+	return StudySpec{Config: &cfg}
+}
+
+// TestStudyBatchBitIdenticalMatrix is the batching acceptance contract:
+// for lockstep-eligible configurations and for every fallback class
+// (exact engine, aggregate engine, graph topologies), the StudyReport is
+// byte-identical at every Workers × Batch combination — batching is
+// scheduling, never semantics. Replicates is deliberately not a multiple
+// of any batch width, so every run exercises a ragged final batch.
+func TestStudyBatchBitIdenticalMatrix(t *testing.T) {
+	regular, err := ParseTopology("random-regular:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec StudySpec
+	}{
+		{"fet-worst-case", StudySpec{Options: Options{N: 256, Seed: 99}}},
+		{"correct-zero", StudySpec{Options: Options{N: 256, Seed: 13, CorrectZero: true}}},
+		{"noisy", scenarioSpec(t, "noisy", 256, 31)},
+		{"trend-flip", scenarioSpec(t, "trend-flip", 256, 32)},
+		{"multi-source", scenarioSpec(t, "multi-source", 256, 33)},
+		{"simple-trend", scenarioSpec(t, "simple-trend", 256, 34)},
+		{"parallel-engine", StudySpec{Options: Options{N: 256, Seed: 7, Engine: EngineAgentParallel, Parallelism: 2}}},
+		{"exact-engine-fallback", StudySpec{Options: Options{N: 96, Seed: 7, Engine: EngineAgentExact}}},
+		{"aggregate-fallback", StudySpec{Options: Options{N: 512, Seed: 7, Engine: EngineAggregate}}},
+		{"topology-fallback", StudySpec{Options: Options{N: 128, Seed: 7, Topology: regular}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec
+			spec.Replicates = 33
+			var base *StudyReport
+			for _, workers := range []int{1, 8} {
+				for _, batch := range []int{1, 4, 32} {
+					spec.Workers, spec.Batch = workers, batch
+					report, err := mustStudy(t, spec).Run(context.Background())
+					if err != nil {
+						t.Fatalf("workers=%d batch=%d: %v", workers, batch, err)
+					}
+					if base == nil {
+						base = report
+						continue
+					}
+					if !reflect.DeepEqual(base, report) {
+						t.Fatalf("workers=%d batch=%d: report differs from the sequential run", workers, batch)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStudyChainIgnoresBatch: the Markov-chain form runs per-replicate
+// regardless of Batch, with identical reports.
+func TestStudyChainIgnoresBatch(t *testing.T) {
+	spec := StudySpec{
+		Replicates: 9,
+		Options:    Options{N: 100_000, Seed: 3, Engine: EngineMarkovChain},
+	}
+	base, err := mustStudy(t, spec).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Batch = 32
+	batched, err := mustStudy(t, spec).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, batched) {
+		t.Fatal("chain study with Batch=32 differs from unbatched")
+	}
+}
+
+// TestStudyBatchObserveFactory: per-replicate observers keep their own
+// instances under batching, and each sees exactly its replicate's rounds.
+func TestStudyBatchObserveFactory(t *testing.T) {
+	const replicates = 19
+	recorders := make([]*TrajectoryRecorder, replicates)
+	study := mustStudy(t, StudySpec{
+		Replicates: replicates,
+		Workers:    4,
+		Batch:      8,
+		Options:    Options{N: 256, Seed: 17},
+		Observe: func(i int) []Observer {
+			recorders[i] = &TrajectoryRecorder{}
+			return []Observer{recorders[i]}
+		},
+	})
+	report, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recorders {
+		if rec == nil {
+			t.Fatalf("replicate %d never got its observer", i)
+		}
+		if got, want := len(rec.Xs), report.Results[i].Result.Rounds; got != want {
+			t.Fatalf("replicate %d recorded %d rounds, executed %d", i, got, want)
+		}
+	}
+}
+
+// TestStudyBatchCancellation: cancelling mid-study stops a batched run
+// within one simulated round, like the sequential path.
+func TestStudyBatchCancellation(t *testing.T) {
+	study := mustStudy(t, StudySpec{
+		Replicates: 64,
+		Batch:      32,
+		Options: Options{
+			N:         1 << 16,
+			Seed:      5,
+			Init:      HalfInit(), // never absorbs within the cap below
+			MaxRounds: 1 << 30,
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = study.Run(ctx)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batched study did not stop promptly after cancellation")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", runErr)
+	}
+}
+
+// TestBatchValidation: the Batch knob is range-checked at every layer.
+func TestBatchValidation(t *testing.T) {
+	for _, batch := range []int{-1, MaxBatch + 1} {
+		if _, err := NewStudy(StudySpec{Replicates: 4, Batch: batch, Options: Options{N: 64, Seed: 1}}); !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("NewStudy(Batch=%d): err = %v, want ErrInvalidOptions", batch, err)
+		}
+		if _, err := NewSweep(SweepSpec{Ns: []int{64}, Replicates: 4, Batch: batch, Seed: 1}); !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("NewSweep(Batch=%d): err = %v, want ErrInvalidOptions", batch, err)
+		}
+		if _, err := NewServer(ServeConfig{Batch: batch}); !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("NewServer(Batch=%d): err = %v, want ErrInvalidOptions", batch, err)
+		}
+	}
+}
+
+// TestSweepBatchBitIdentical: a sweep's rows are byte-identical with
+// batching on — including across an engine axis where aggregate cells
+// fall back to per-replicate runs — and a Batch above Replicates clamps
+// instead of failing.
+func TestSweepBatchBitIdentical(t *testing.T) {
+	worst, _ := ScenarioByName(DefaultScenario)
+	half, _ := ScenarioByName("half-split")
+	noisy, _ := ScenarioByName("noisy")
+	spec := SweepSpec{
+		Ns:         []int{64, 128},
+		Engines:    []EngineKind{EngineAgentFast, EngineAggregate},
+		Scenarios:  []Scenario{worst, half, noisy},
+		Replicates: 10,
+		Workers:    4,
+		Seed:       21,
+	}
+	run := func(batch int) *SweepReport {
+		t.Helper()
+		spec.Batch = batch
+		sweep, err := NewSweep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sweep.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(0)
+	for _, batch := range []int{8, MaxBatch} {
+		if got := run(batch); !reflect.DeepEqual(base, got) {
+			t.Fatalf("sweep with Batch=%d differs from unbatched:\n%s\n%s", batch, base.CSV(), got.CSV())
+		}
+	}
+}

@@ -277,6 +277,33 @@ func BenchmarkReplicateAlloc(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
 	})
+
+	// The lockstep shape: 32 replicates per word through one transposed
+	// executor. Steady state (the executor is built once, then reused per
+	// batch) must average 0 allocs per replicate, which the CI allocation
+	// gate enforces via the n= row-name convention.
+	b.Run("n=4096/lockstep", func(b *testing.B) {
+		study, err := NewStudy(StudySpec{
+			Replicates: b.N,
+			Workers:    1,
+			Batch:      32,
+			Options:    Options{N: 4096, Seed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		report, err := study.Run(context.Background())
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Convergence.Converged == 0 {
+			b.Fatal("no replicate converged")
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
+	})
 }
 
 // BenchmarkAggregateWorstCase measures a complete worst-case
@@ -325,7 +352,10 @@ func BenchmarkCompete(b *testing.B) {
 
 // BenchmarkStudyReplicates measures the batch throughput of the Study
 // API — replicates per second per engine at fixed n = 4096, worst-case
-// start, default worker pool. Recorded results live in BENCH_study.json.
+// start, default worker pool — plus the lockstep rows: the same agent
+// study with 8 and 32 replicates per word on a single worker, isolating
+// the word-parallel speedup from worker-pool parallelism. Recorded
+// results live in BENCH_study.json.
 func BenchmarkStudyReplicates(b *testing.B) {
 	engines := []struct {
 		name string
@@ -341,6 +371,29 @@ func BenchmarkStudyReplicates(b *testing.B) {
 			study, err := NewStudy(StudySpec{
 				Replicates: b.N,
 				Options:    Options{N: 4096, Seed: 1, Engine: eng.kind},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			report, err := study.Run(context.Background())
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if report.Convergence.Converged == 0 {
+				b.Fatal("no replicate converged")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
+		})
+	}
+	for _, w := range []int{8, 32} {
+		b.Run(fmt.Sprintf("lockstep-w%d", w), func(b *testing.B) {
+			study, err := NewStudy(StudySpec{
+				Replicates: b.N,
+				Workers:    1,
+				Batch:      w,
+				Options:    Options{N: 4096, Seed: 1},
 			})
 			if err != nil {
 				b.Fatal(err)

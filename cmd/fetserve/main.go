@@ -53,20 +53,22 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 0, "resident answer-cache budget in bytes (0 = 64 MiB)")
 		cacheDir   = flag.String("cache-dir", "", "persistent cache directory (empty = memory only)")
 		replicates = flag.Int("replicates", 0, "default replicates per query (0 = 40)")
+		batch      = flag.Int("batch", 0, "lockstep width for fallback-tier studies (0 or 1 = off, max 64; never changes answer bytes)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *cacheBytes, *cacheDir, *replicates); err != nil {
+	if err := run(*addr, *workers, *cacheBytes, *cacheDir, *replicates, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "fetserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, cacheBytes int64, cacheDir string, replicates int) error {
+func run(addr string, workers int, cacheBytes int64, cacheDir string, replicates, batch int) error {
 	server, err := passivespread.NewServer(passivespread.ServeConfig{
 		Workers:           workers,
 		CacheBytes:        cacheBytes,
 		CacheDir:          cacheDir,
 		DefaultReplicates: replicates,
+		Batch:             batch,
 	})
 	if err != nil {
 		return err

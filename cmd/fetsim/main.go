@@ -48,6 +48,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines for -engine parallel (0 = GOMAXPROCS)")
 		replicates = flag.Int("replicates", 1, "number of replicate runs (a study when > 1)")
 		jobs       = flag.Int("jobs", 0, "concurrent replicates (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 0, "lockstep width: replicates per word-parallel batch (0 or 1 = off, max 64; never changes results)")
 		traj       = flag.Bool("trajectory", false, "print x_t per round")
 	)
 	flag.Parse()
@@ -99,6 +100,7 @@ func main() {
 		study, err = passivespread.NewStudy(passivespread.StudySpec{
 			Replicates: *replicates,
 			Workers:    *jobs,
+			Batch:      *batch, // validated here; the chain engine runs per-replicate
 			Options: passivespread.Options{
 				N:                *n,
 				Ell:              *ell,
@@ -135,6 +137,7 @@ func main() {
 		study, err = passivespread.NewStudy(passivespread.StudySpec{
 			Replicates: *replicates,
 			Workers:    *jobs,
+			Batch:      *batch,
 			Config:     &cfg,
 		})
 		if err != nil {

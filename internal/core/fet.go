@@ -99,6 +99,12 @@ func (f *FET) SampleSizes() []int { return []int{f.ell} }
 // the fast observer prefetches in one bulk fill.
 func (f *FET) DrawsPerRound() int { return 2 }
 
+// LockstepRule implements sim.TrendLockstep: FETAgent.Step is exactly
+// the trend-compare rule with d = 2 (count′ compared, count′′ stored),
+// so the lockstep replicate engine may replay it word-parallel across
+// lanes with bit-identical results.
+func (f *FET) LockstepRule() {}
+
 // NewAgent implements sim.Protocol.
 func (f *FET) NewAgent(*rng.Source) sim.Agent {
 	return &FETAgent{ell: f.ell}
@@ -116,7 +122,9 @@ var (
 	_ sim.StateCorruptible = (*FETAgent)(nil)
 	_ sim.TrendSeeder      = (*FETAgent)(nil)
 	_ sim.AgentResetter    = (*FETAgent)(nil)
+	_ sim.PrevCounter      = (*FETAgent)(nil)
 	_ sim.FixedDraws       = (*FET)(nil)
+	_ sim.TrendLockstep    = (*FET)(nil)
 )
 
 // ResetAgent implements sim.AgentResetter: a fresh FET agent stores
@@ -201,6 +209,11 @@ func (s *SimpleTrend) SampleSizes() []int { return []int{s.ell} }
 // per Step, no Sample calls.
 func (s *SimpleTrend) DrawsPerRound() int { return 1 }
 
+// LockstepRule implements sim.TrendLockstep: SimpleTrendAgent.Step is
+// the trend-compare rule with d = 1 (the single count both compared and
+// stored).
+func (s *SimpleTrend) LockstepRule() {}
+
 // NewAgent implements sim.Protocol.
 func (s *SimpleTrend) NewAgent(*rng.Source) sim.Agent {
 	return &SimpleTrendAgent{ell: s.ell}
@@ -217,7 +230,9 @@ var (
 	_ sim.StateCorruptible = (*SimpleTrendAgent)(nil)
 	_ sim.TrendSeeder      = (*SimpleTrendAgent)(nil)
 	_ sim.AgentResetter    = (*SimpleTrendAgent)(nil)
+	_ sim.PrevCounter      = (*SimpleTrendAgent)(nil)
 	_ sim.FixedDraws       = (*SimpleTrend)(nil)
+	_ sim.TrendLockstep    = (*SimpleTrend)(nil)
 )
 
 // ResetAgent implements sim.AgentResetter.

@@ -255,3 +255,134 @@ func (b *BinomialCDF) CDF(k int) float64 {
 	}
 	return b.cdf[k]
 }
+
+// BinomialThresholds is BinomialCDF with the CDF mapped through
+// UnitThreshold into 53-bit integer thresholds, so a variate inverts
+// against raw generator outputs with integer compares only — no float
+// conversion, no float compare — while remaining bit-exact:
+// SampleRaw(raw) == SampleU(UnitFloat(raw)) for every raw uint64
+// (UnitThreshold's defining property, m < T[k] ⟺ float64(m)/2^53 <
+// cdf[k], applied entry-wise). The lockstep replicate engine tabulates
+// one of these per lane per round and scans it inline in its agent
+// kernel.
+//
+// The thresholds are nondecreasing over [0, n) — the accumulated CDF
+// only grows — and T[n] = 2^53 strictly exceeds every 53-bit mantissa,
+// so the direction-adaptive scans below always terminate in range.
+// (Accumulation can overshoot 1 just before the forced-to-1 last entry,
+// making T[n−1] exceed T[n] by a few units; every mantissa lies below
+// both, so the "smallest k with mant < T[k]" predicate stays monotone
+// and the scans agree with SampleU exactly.) The scan direction follows
+// the mass: for p ≤ 1/2
+// the variate concentrates near 0 and an upward scan takes an expected
+// O(np+1) compares; for p > 1/2 a downward scan from n takes
+// O(n(1−p)+1). At the degenerate ends (the absorption-tail rounds,
+// p ∈ {0, 1}) a sample is a single compare.
+type BinomialThresholds struct {
+	cdf BinomialCDF
+	t   []uint64 // t[k] = UnitThreshold(cdf[k]); t[n] = 2^53
+	// guide[b] is the smallest k with t[k] > b·2^45 — a starting index
+	// for the upward scan bucketed by the top guideBits bits of the
+	// 53-bit mantissa. Because "smallest k with t[k] > X" is
+	// nondecreasing in X, guide[b] never overshoots the answer for any
+	// mantissa in bucket b, and the remaining scan takes an expected
+	// n/2^guideBits extra compares — below one for every ℓ = O(log
+	// population) table.
+	guide [1 << guideBits]uint32
+}
+
+// guideBits is the number of top mantissa bits indexing the scan guide
+// table.
+const guideBits = 8
+
+// GuideTable is the bucketed scan-start table exposed by Guide.
+type GuideTable = [1 << guideBits]uint32
+
+// NewBinomialThresholds builds the threshold table for Binomial(n, p).
+func NewBinomialThresholds(n int, p float64) *BinomialThresholds {
+	b := &BinomialThresholds{}
+	b.Reset(n, p)
+	return b
+}
+
+// Reset retabulates the thresholds for Binomial(n, p) in place, reusing
+// both backing arrays whenever capacity allows. A zero-value
+// BinomialThresholds is valid Reset input.
+func (b *BinomialThresholds) Reset(n int, p float64) {
+	b.cdf.Reset(n, p)
+	t := b.t
+	if cap(t) < n+1 {
+		t = make([]uint64, n+1)
+	}
+	t = t[:n+1]
+	for k := 0; k <= n; k++ {
+		t[k] = UnitThreshold(b.cdf.cdf[k])
+	}
+	b.t = t
+	k := 0
+	for g := range b.guide {
+		// t[n] = 2^53 strictly exceeds every bucket base, so k stays in
+		// range without an explicit bound.
+		for t[k] <= uint64(g)<<(53-guideBits) {
+			k++
+		}
+		b.guide[g] = uint32(k)
+	}
+}
+
+// N returns the number of trials of the tabulated law.
+func (b *BinomialThresholds) N() int { return b.cdf.n }
+
+// P returns the success probability of the tabulated law.
+func (b *BinomialThresholds) P() float64 { return b.cdf.p }
+
+// Thresholds exposes the threshold table (t[k] = UnitThreshold(P(B ≤
+// k)), length N()+1) for consumers that inline ScanUp/ScanDown into
+// their own kernels. The slice is owned by the sampler and valid until
+// the next Reset.
+func (b *BinomialThresholds) Thresholds() []uint64 { return b.t }
+
+// ScanUp reports whether SampleRaw should scan upward from 0 (p ≤ 1/2)
+// rather than downward from N.
+func (b *BinomialThresholds) ScanUp() bool { return b.cdf.p <= 0.5 }
+
+// Guide exposes the bucketed scan-start table: for a 53-bit mantissa,
+// guide[mant >> (53−guideBits)] is a lower bound on the inversion
+// answer, so an upward scan from it returns SampleRaw's exact result in
+// an expected ~1 compare. The array is owned by the sampler and valid
+// until the next Reset; consumers inlining the scan pair it with
+// Thresholds.
+func (b *BinomialThresholds) Guide() *GuideTable { return &b.guide }
+
+// GuideShift is the right-shift mapping a 53-bit mantissa to its Guide
+// bucket.
+const GuideShift = 53 - guideBits
+
+// Sample draws one variate using the source, consuming exactly one
+// stream output per call — the same invariant as BinomialCDF.Sample,
+// and the same value: Sample here equals SampleU(src.Float64()) on the
+// equal-parameter BinomialCDF.
+func (b *BinomialThresholds) Sample(src *Source) int {
+	return b.SampleRaw(src.Uint64())
+}
+
+// SampleRaw inverts the tabulated law at a raw 64-bit stream output:
+// it returns the smallest k with raw>>11 < t[k], which is exactly
+// BinomialCDF.SampleU(UnitFloat(raw)) — the smallest k with cdf[k] >
+// UnitFloat(raw) — by UnitThreshold's equivalence.
+func (b *BinomialThresholds) SampleRaw(raw uint64) int {
+	mant := raw >> 11
+	t := b.t
+	if b.cdf.p <= 0.5 {
+		k := 0
+		for mant >= t[k] {
+			k++
+		}
+		return k
+	}
+	k := b.cdf.n
+	for k > 0 && mant < t[k-1] {
+		k--
+	}
+	return k
+}

@@ -238,6 +238,138 @@ func TestBinomialCDFPanicsOnNegativeN(t *testing.T) {
 	NewBinomialCDF(-1, 0.5)
 }
 
+// TestBinomialThresholdsMatchesSampleU is the bit-identity foundation of
+// the lockstep replicate engine: for every raw stream output,
+// SampleRaw(raw) must equal the float path's SampleU(UnitFloat(raw)) —
+// both scan directions, every p regime (degenerate ends, skewed
+// log-space tails, the p > 1/2 downward scan), and under in-place Reset
+// reuse.
+func TestBinomialThresholdsMatchesSampleU(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{1, 0.5},
+		{7, 0},
+		{7, 1},
+		{7, 1e-12},
+		{7, 1 - 1e-12},
+		{36, 0.000244},
+		{36, 0.0093},
+		{36, 0.288},
+		{36, 0.5},
+		{36, 0.7},
+		{36, 0.999},
+		{64, 0.25},
+		{200, 0.04},
+		{200, 0.96},
+		{2000, 1e-8}, // log-space tabulation path
+	}
+	var thr BinomialThresholds // exercise zero-value Reset + reuse
+	s := New(97)
+	for _, tc := range cases {
+		cdf := NewBinomialCDF(tc.n, tc.p)
+		thr.Reset(tc.n, tc.p)
+		if thr.N() != tc.n || thr.P() != cdf.P() {
+			t.Fatalf("accessors: N=%d P=%v, want %d %v", thr.N(), thr.P(), tc.n, cdf.P())
+		}
+		if got := len(thr.Thresholds()); got != tc.n+1 {
+			t.Fatalf("n=%d p=%v: %d thresholds, want %d", tc.n, tc.p, got, tc.n+1)
+		}
+		// Structured extremes plus a random sweep of raw outputs.
+		raws := []uint64{0, 1, 1 << 11, (1 << 11) - 1, ^uint64(0), ^uint64(0) - (1<<11 - 1), 1<<63 + 12345}
+		for i := 0; i < 4000; i++ {
+			raws = append(raws, s.Uint64())
+		}
+		for _, raw := range raws {
+			want := cdf.SampleU(UnitFloat(raw))
+			if got := thr.SampleRaw(raw); got != want {
+				t.Fatalf("n=%d p=%v raw=%#x: SampleRaw=%d, SampleU=%d", tc.n, tc.p, raw, got, want)
+			}
+		}
+	}
+}
+
+// TestBinomialThresholdsSampleStream checks that Sample consumes exactly
+// one stream output per call and yields the value the float sampler
+// would draw from the same stream position.
+func TestBinomialThresholdsSampleStream(t *testing.T) {
+	thr := NewBinomialThresholds(36, 0.288)
+	cdf := NewBinomialCDF(36, 0.288)
+	a, b := New(41), New(41)
+	for i := 0; i < 1000; i++ {
+		ka := thr.Sample(a)
+		kb := cdf.Sample(b)
+		if ka != kb {
+			t.Fatalf("draw %d: thresholds %d, cdf %d", i, ka, kb)
+		}
+	}
+	if *a != *b {
+		t.Fatal("Sample left the two streams in different states")
+	}
+}
+
+// TestBinomialThresholdsMonotone checks the scan invariants: thresholds
+// nondecreasing over [0, n) and the final entry exactly 2^53 (strictly
+// above every 53-bit mantissa, so scans terminate in range). The forced
+// last entry may sit below an accumulation-overshot t[n−1]; both exceed
+// every mantissa, so the scans stay exact.
+func TestBinomialThresholdsMonotone(t *testing.T) {
+	for _, p := range []float64{0, 0.001, 0.3, 0.5, 0.51, 0.97, 1} {
+		thr := NewBinomialThresholds(48, p)
+		ts := thr.Thresholds()
+		for k := 1; k < len(ts)-1; k++ {
+			if ts[k] < ts[k-1] {
+				t.Fatalf("p=%v: t[%d]=%d < t[%d]=%d", p, k, ts[k], k-1, ts[k-1])
+			}
+		}
+		if ts[len(ts)-1] != 1<<53 {
+			t.Fatalf("p=%v: t[n]=%d, want 2^53", p, ts[len(ts)-1])
+		}
+		if thr.ScanUp() != (thr.P() <= 0.5) {
+			t.Fatalf("p=%v: ScanUp=%v", p, thr.ScanUp())
+		}
+	}
+}
+
+func TestBinomialThresholdsGuide(t *testing.T) {
+	// The guide-started upward scan — the lockstep kernel's inlined
+	// inversion — must return SampleRaw's exact answer for every raw
+	// output, and every guide entry must lower-bound its bucket.
+	src := New(97)
+	for _, c := range []struct {
+		n int
+		p float64
+	}{
+		{36, 0.000244}, {36, 0.0093}, {36, 0.288}, {36, 0.5}, {36, 0.97},
+		{1, 0.3}, {48, 0.001}, {2000, 1e-8}, {300, 0.9999},
+	} {
+		thr := NewBinomialThresholds(c.n, c.p)
+		ts := thr.Thresholds()
+		g := thr.Guide()
+		for b, k0 := range g {
+			base := uint64(b) << GuideShift
+			if want := thr.SampleRaw(base << 11); int(k0) != want {
+				t.Fatalf("n=%d p=%v: guide[%d]=%d, bucket base inverts to %d", c.n, c.p, b, k0, want)
+			}
+		}
+		raws := []uint64{0, 1, ^uint64(0), 1 << 63, 1<<53 - 1}
+		for i := 0; i < 4000; i++ {
+			raws = append(raws, src.Uint64())
+		}
+		for _, raw := range raws {
+			mant := raw >> 11
+			k := int(g[mant>>GuideShift])
+			for mant >= ts[k] {
+				k++
+			}
+			if want := thr.SampleRaw(raw); k != want {
+				t.Fatalf("n=%d p=%v raw=%#x: guided scan %d, SampleRaw %d", c.n, c.p, raw, k, want)
+			}
+		}
+	}
+}
+
 func BenchmarkBinomialSmall(b *testing.B) {
 	s := New(1)
 	var sink int

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"passivespread/internal/topo"
@@ -11,12 +12,14 @@ import (
 // share an executor via populate. Everything else a replicate varies —
 // seed, correct opinion, initializer, noise, corruption hooks, round
 // caps, observers — is (re)applied per lease by populate and the
-// orchestrator.
+// orchestrator. lanes is the lockstep batch width (0 for sequential
+// executors): lockstep buffers are sized n·lanes, so batches of
+// different widths are different shapes.
 type poolKey struct {
-	engine             EngineKind
-	n, sources, shards int
-	protocol           string
-	topology           string
+	engine                    EngineKind
+	n, sources, shards, lanes int
+	protocol                  string
+	topology                  string
 }
 
 // Pool reuses agent executors — and with them every O(n) replicate
@@ -35,13 +38,17 @@ type poolKey struct {
 // workers (leaked otherwise for EngineAgentParallel). The Pool remains
 // usable after Release.
 type Pool struct {
-	mu   sync.Mutex
-	free map[poolKey][]*agentExecutor
+	mu       sync.Mutex
+	free     map[poolKey][]*agentExecutor
+	freeLock map[poolKey][]*lockstepExecutor
 }
 
 // NewPool returns an empty executor pool.
 func NewPool() *Pool {
-	return &Pool{free: make(map[poolKey][]*agentExecutor)}
+	return &Pool{
+		free:     make(map[poolKey][]*agentExecutor),
+		freeLock: make(map[poolKey][]*lockstepExecutor),
+	}
 }
 
 // RunContext is RunContext with executor reuse: it leases a pooled
@@ -97,6 +104,74 @@ func (p *Pool) RunContext(ctx context.Context, cfg Config) (Result, error) {
 	return res, runErr
 }
 
+// RunLockstep runs len(lanes) replicates of cfg's shape — lane l seeded
+// with lanes[l].Seed and observed by lanes[l].Observers — writing each
+// lane's outcome to out[l]. Outcomes are bit-identical to running every
+// lane alone through RunContext: when the configuration supports the
+// lockstep executor (see lockstepSupported) the whole batch advances
+// word-parallel through a pooled transposed executor; otherwise, and for
+// single-lane batches, each lane falls back to the sequential path.
+// cfg.Seed and cfg.Observers are ignored — both are per-lane.
+//
+// A non-nil return means the batch itself was rejected (bad
+// configuration, mismatched slice lengths, too many lanes) and no lane
+// ran. Per-lane failures — context cancellation, observer errors — are
+// reported in out[l].Err, and lanes already finished keep their
+// results. A nil *Pool degrades to unpooled sequential runs.
+func (p *Pool) RunLockstep(ctx context.Context, cfg Config, lanes []LaneRun, out []LaneResult) error {
+	if len(out) != len(lanes) {
+		return fmt.Errorf("sim: RunLockstep with %d lanes but %d result slots", len(lanes), len(out))
+	}
+	if len(lanes) > maxLockstepLanes {
+		return fmt.Errorf("sim: RunLockstep with %d lanes, max %d", len(lanes), maxLockstepLanes)
+	}
+	if len(lanes) == 0 {
+		return nil
+	}
+	cfg.Observers = nil
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	if p == nil || len(lanes) == 1 || !lockstepSupported(&c) {
+		for l := range lanes {
+			lc := cfg
+			lc.Seed = lanes[l].Seed
+			lc.Observers = lanes[l].Observers
+			var res Result
+			var runErr error
+			if p == nil {
+				res, runErr = RunContext(ctx, lc)
+			} else {
+				res, runErr = p.RunContext(ctx, lc)
+			}
+			out[l] = LaneResult{Result: res, Err: runErr}
+		}
+		return nil
+	}
+
+	key := poolKey{
+		engine:   c.Engine,
+		n:        c.N,
+		sources:  c.Sources,
+		protocol: c.Protocol.Name(),
+		topology: topo.DisplayName(c.Topology),
+		shards:   1,
+		lanes:    len(lanes),
+	}
+	e := p.getLock(key)
+	if e == nil {
+		e = newLockstepExecutor(&c, len(lanes))
+	}
+	if err := e.populate(&c, lanes); err != nil {
+		return err
+	}
+	runLockstepLoop(ctx, &c, e, lanes, out)
+	e.cfg = nil // do not retain the lease's Config across idle periods
+	p.putLock(key, e)
+	return nil
+}
+
 func (p *Pool) get(key poolKey) *agentExecutor {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -115,6 +190,24 @@ func (p *Pool) put(key poolKey, e *agentExecutor) {
 	p.free[key] = append(p.free[key], e)
 }
 
+func (p *Pool) getLock(key poolKey) *lockstepExecutor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	frees := p.freeLock[key]
+	if len(frees) == 0 {
+		return nil
+	}
+	e := frees[len(frees)-1]
+	p.freeLock[key] = frees[:len(frees)-1]
+	return e
+}
+
+func (p *Pool) putLock(key poolKey, e *lockstepExecutor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.freeLock[key] = append(p.freeLock[key], e)
+}
+
 // Release closes and drops every idle executor. Executors leased at call
 // time are unaffected — they return to the pool when their replicate
 // finishes and are freed by the next Release.
@@ -129,5 +222,10 @@ func (p *Pool) Release() {
 			e.close()
 		}
 		delete(p.free, key)
+	}
+	for key := range p.freeLock {
+		// Lockstep executors own no background resources — dropping the
+		// references releases their buffers.
+		delete(p.freeLock, key)
 	}
 }

@@ -105,6 +105,38 @@ type FixedDraws interface {
 	DrawsPerRound() int
 }
 
+// TrendLockstep is implemented by protocols eligible for the lockstep
+// replicate engine (Pool.RunLockstep), which advances up to 64
+// replicates of one configuration through the round loop together. The
+// marker asserts that, on the tabulated fast path, the protocol's whole
+// per-agent update is the trend-compare rule:
+//
+//	draw DrawsPerRound() counts c_0 … c_{d−1}, each a CountOnes of the
+//	single declared sample size; adopt opinion 1 if c_0 exceeds the
+//	stored count, 0 if it is below, keep the current opinion on a tie;
+//	store c_{d−1} for the next round.
+//
+// with d ∈ {1, 2} (FET compares c_0 and stores c_1; SimpleTrend uses
+// one count for both) and no Sample calls. The lockstep engine replays
+// this rule itself — agents' Step methods are never invoked — so the
+// marker is a promise, cross-checked by the bit-identity test battery,
+// not a derived fact. Eligible protocols' agents must additionally
+// implement PrevCounter and AgentResetter (StateCorruptible and
+// TrendSeeder compose as usual).
+type TrendLockstep interface {
+	Protocol
+	FixedDraws
+	// LockstepRule is a marker method carrying no behavior.
+	LockstepRule()
+}
+
+// PrevCounter is implemented by trend-following agents exposing their
+// stored previous-round count. The lockstep engine reads it once per
+// replicate to transpose the agent state into its lane-major buffers.
+type PrevCounter interface {
+	PrevCount() int
+}
+
 // AgentResetter is implemented by agents that can be restored to their
 // protocol's fresh (post-NewAgent) state in place. Pooled executors
 // reset such agents across replicates instead of reallocating n of

@@ -54,6 +54,11 @@ type ServeConfig struct {
 	// DefaultReplicates resolves a query's zero replicates field
 	// (0 = 40, enough for a stable success-rate estimate).
 	DefaultReplicates int
+	// Batch is the lockstep width fallback-tier studies run with (see
+	// StudySpec.Batch; 0 or 1 = sequential, max MaxBatch). Answer bytes
+	// are identical at every width — batching only changes how fast the
+	// fallback tier turns a cold cell into a cached answer.
+	Batch int
 }
 
 // defaultServeReplicates is the replicate count a query gets when it
@@ -70,8 +75,11 @@ func NewServer(cfg ServeConfig) (*Server, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("%w: DefaultReplicates: %d, want ≥ 1", ErrInvalidOptions, cfg.DefaultReplicates)
 	}
+	if cfg.Batch < 0 || cfg.Batch > MaxBatch {
+		return nil, fmt.Errorf("%w: Batch: %d, want 0…%d", ErrInvalidOptions, cfg.Batch, MaxBatch)
+	}
 	return serve.New(serve.Config{
-		Backend:    &serveBackend{defaultReplicates: reps},
+		Backend:    &serveBackend{defaultReplicates: reps, batch: cfg.Batch},
 		Workers:    cfg.Workers,
 		CacheBytes: cfg.CacheBytes,
 		CacheDir:   cfg.CacheDir,
@@ -106,6 +114,9 @@ func (s *Sweep) CellKeys() []CellKey {
 // ParseTopology/ParseEngine, and the Study API.
 type serveBackend struct {
 	defaultReplicates int
+	// batch is the lockstep width for fallback-tier studies (0/1 =
+	// sequential); it never changes answer bytes.
+	batch int
 }
 
 // resolvedCell is a key plus its executable ingredients.
@@ -442,7 +453,7 @@ func (b *serveBackend) Run(ctx context.Context, key CellKey, progress func(done,
 			})
 		} else {
 			cfg := cell.scenario.config(key.N, key.Ell, key.MaxRounds, cell.engine, cell.topology, 1, key.Seed)
-			study, err = NewStudy(StudySpec{Replicates: total, Config: &cfg})
+			study, err = NewStudy(StudySpec{Replicates: total, Batch: b.batch, Config: &cfg})
 		}
 		if err != nil {
 			return nil, asToolError(err)

@@ -23,6 +23,16 @@ type StudySpec struct {
 	// (root seed, replicate index) alone, so results are bit-identical at
 	// every parallelism level.
 	Workers int
+	// Batch is the lockstep width W: each worker runs up to W replicates
+	// word-parallel through one transposed executor when the replicate
+	// configuration supports it (complete topology, trend-rule protocol,
+	// agent engines; see the sim package's lockstep executor), falling
+	// back to sequential per-replicate runs otherwise. 0 or 1 disables
+	// batching; the maximum is MaxBatch (one replicate per bit of a
+	// uint64 word). Like Workers, Batch affects scheduling only: reports
+	// are bit-identical at every Workers × Batch combination. The
+	// EngineMarkovChain form ignores Batch.
+	Batch int
 	// Options is the per-replicate template for the common case (FET
 	// under the worst-case defaults). Options.Seed is the study's root
 	// seed: replicate i runs with StreamSeed(Seed, i).
@@ -43,6 +53,10 @@ type StudySpec struct {
 	// state without their own synchronization.
 	Observe func(replicate int) []Observer
 }
+
+// MaxBatch is the largest StudySpec.Batch (and SweepSpec.Batch) width:
+// the lockstep executor packs one replicate per bit of a uint64 word.
+const MaxBatch = 64
 
 // StreamSeed exposes the repository's SplitMix64 stream-derivation rule:
 // replicate i of a Study with root seed s runs with StreamSeed(s, i).
@@ -92,6 +106,7 @@ type StudyReport struct {
 type Study struct {
 	replicates int
 	workers    int
+	batch      int
 	rootSeed   uint64
 	observe    func(replicate int) []Observer
 
@@ -121,6 +136,16 @@ func NewStudy(spec StudySpec) (*Study, error) {
 	if spec.Workers < 0 {
 		return nil, fmt.Errorf("%w: Workers: %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
 	}
+	if spec.Batch < 0 || spec.Batch > MaxBatch {
+		return nil, fmt.Errorf("%w: Batch: %d, want 0…%d", ErrInvalidOptions, spec.Batch, MaxBatch)
+	}
+	batch := spec.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	if batch > spec.Replicates {
+		batch = spec.Replicates
+	}
 	workers := spec.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -128,7 +153,7 @@ func NewStudy(spec StudySpec) (*Study, error) {
 	if workers > spec.Replicates {
 		workers = spec.Replicates
 	}
-	s := &Study{replicates: spec.Replicates, workers: workers, observe: spec.Observe}
+	s := &Study{replicates: spec.Replicates, workers: workers, batch: batch, observe: spec.Observe}
 
 	if spec.Config != nil {
 		if spec.Config.Engine == EngineMarkovChain {
@@ -243,34 +268,54 @@ func (s *Study) Workers() int { return s.workers }
 // ones finish within one simulated round. The caller must drain the
 // channel or cancel ctx, or the worker pool leaks.
 func (s *Study) Stream(ctx context.Context) <-chan RunResult {
+	batch := s.batch
+	if s.chain || batch < 1 {
+		batch = 1
+	}
 	out := make(chan RunResult)
 	go func() {
 		defer close(out)
-		indices := make(chan int)
+		// Workers claim batch-start indices; a batch of 1 degenerates to
+		// the per-replicate scheduling this loop always used.
+		starts := make(chan int)
 		var wg sync.WaitGroup
-		for w := 0; w < s.workers; w++ {
+		workers := s.workers
+		if nb := (s.replicates + batch - 1) / batch; workers > nb {
+			workers = nb
+		}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range indices {
-					r := s.runReplicate(ctx, i)
-					select {
-					case out <- r:
-					case <-ctx.Done():
-						return
+				for lo := range starts {
+					if batch == 1 {
+						r := s.runReplicate(ctx, lo)
+						select {
+						case out <- r:
+						case <-ctx.Done():
+							return
+						}
+						continue
+					}
+					for _, r := range s.runBatch(ctx, lo, batch) {
+						select {
+						case out <- r:
+						case <-ctx.Done():
+							return
+						}
 					}
 				}
 			}()
 		}
 	feed:
-		for i := 0; i < s.replicates; i++ {
+		for i := 0; i < s.replicates; i += batch {
 			select {
-			case indices <- i:
+			case starts <- i:
 			case <-ctx.Done():
 				break feed
 			}
 		}
-		close(indices)
+		close(starts)
 		wg.Wait()
 		// All leases are back: free the pooled executors (and stop the
 		// parallel engine's persistent shard workers).
@@ -361,6 +406,44 @@ func (s *Study) runReplicate(ctx context.Context, i int) RunResult {
 	}
 	rr.Result, rr.Err = s.pool.RunContext(ctx, cfg)
 	return rr
+}
+
+// runBatch executes replicates [lo, min(lo+batch, Replicates)) as one
+// lockstep batch. Each lane keeps the exact per-replicate contract of
+// runReplicate — seed StreamSeed(rootSeed, i), fresh observer instances
+// from the template slice plus Observe(i) — so every RunResult is
+// bit-identical to the sequential path. A batch-level rejection (which
+// RunLockstep reserves for invalid configurations) surfaces on every
+// lane of the batch.
+func (s *Study) runBatch(ctx context.Context, lo, batch int) []RunResult {
+	hi := lo + batch
+	if hi > s.replicates {
+		hi = s.replicates
+	}
+	w := hi - lo
+	lanes := make([]sim.LaneRun, w)
+	laneOut := make([]sim.LaneResult, w)
+	for l := 0; l < w; l++ {
+		i := lo + l
+		lanes[l].Seed = rng.StreamSeed(s.rootSeed, uint64(i))
+		if s.observe != nil || len(s.cfg.Observers) > 0 {
+			lanes[l].Observers = append([]Observer(nil), s.cfg.Observers...)
+			if s.observe != nil {
+				lanes[l].Observers = append(lanes[l].Observers, s.observe(i)...)
+			}
+		}
+	}
+	err := s.pool.RunLockstep(ctx, s.cfg, lanes, laneOut)
+	results := make([]RunResult, w)
+	for l := 0; l < w; l++ {
+		results[l] = RunResult{Replicate: lo + l, Seed: lanes[l].Seed}
+		if err != nil {
+			results[l].Err = err
+			continue
+		}
+		results[l].Result, results[l].Err = laneOut[l].Result, laneOut[l].Err
+	}
+	return results
 }
 
 // runChainReplicate advances the (K_t, K_{t+1}) chain to absorption and

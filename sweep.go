@@ -63,6 +63,14 @@ type SweepSpec struct {
 	// starve the grid and the last straggler cell still saturates the
 	// hardware. Scheduling never affects results.
 	Workers int
+	// Batch is the per-cell lockstep width W (see StudySpec.Batch): a
+	// worker claims up to W consecutive replicates of one cell and runs
+	// them word-parallel when the cell's configuration supports the
+	// lockstep executor, falling back to sequential runs otherwise.
+	// 0 or 1 disables batching; the maximum is MaxBatch. Custom-runner
+	// scenarios and EngineMarkovChain cells always run per-replicate.
+	// Like Workers, Batch never affects results.
+	Batch int
 	// Seed is the sweep's root seed.
 	Seed uint64
 	// MaxRounds overrides the per-cell round cap (0 = 400·log₂ n per
@@ -167,6 +175,9 @@ type sweepCell struct {
 	study  *Study
 	runner ScenarioRunner
 	params ScenarioParams
+	// batch is the cell's lockstep scheduling width (1 = per-replicate;
+	// always 1 for runner and chain cells).
+	batch int
 }
 
 // release frees the cell study's pooled executors once the cell's last
@@ -187,6 +198,16 @@ func (c *sweepCell) runReplicate(ctx context.Context, i int) RunResult {
 	rr := RunResult{Replicate: i, Seed: p.Seed}
 	rr.Result, rr.Err = c.runner(ctx, p)
 	return rr
+}
+
+// runBatch executes the cell's replicates starting at lo — one lockstep
+// batch for study-backed cells with a batch width, a single replicate
+// otherwise.
+func (c *sweepCell) runBatch(ctx context.Context, lo int) []RunResult {
+	if c.batch > 1 && c.study != nil {
+		return c.study.runBatch(ctx, lo, c.batch)
+	}
+	return []RunResult{c.runReplicate(ctx, lo)}
 }
 
 // Sweep is a prepared parameter grid. Construct with NewSweep; run with
@@ -222,6 +243,9 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	}
 	if spec.Workers < 0 {
 		return nil, fmt.Errorf("%w: Workers: %d, want ≥ 0", ErrInvalidOptions, spec.Workers)
+	}
+	if spec.Batch < 0 || spec.Batch > MaxBatch {
+		return nil, fmt.Errorf("%w: Batch: %d, want 0…%d", ErrInvalidOptions, spec.Batch, MaxBatch)
 	}
 	if spec.MaxRounds < 0 {
 		return nil, fmt.Errorf("%w: MaxRounds: %d, want ≥ 0", ErrInvalidOptions, spec.MaxRounds)
@@ -346,6 +370,13 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 	if parallelism == 0 {
 		parallelism = 1
 	}
+	batch := spec.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	if batch > spec.Replicates {
+		batch = spec.Replicates
+	}
 	s := &Sweep{replicates: spec.Replicates, seed: spec.Seed, shard: spec.Shard}
 	s.cells = make([]sweepCell, 0, len(scenarios)*len(engines)*len(topologies)*len(spec.Ns)*len(ells))
 	for _, sc := range scenarios {
@@ -369,7 +400,7 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 							maxRounds = DefaultMaxRounds(n)
 						}
 						cell, err := newSweepCell(idx, sc, engine, cellTopo, n, ell, maxRounds, parallelism,
-							rng.StreamSeed(spec.Seed, uint64(idx)), spec.Replicates)
+							rng.StreamSeed(spec.Seed, uint64(idx)), spec.Replicates, batch)
 						if err != nil {
 							return nil, fmt.Errorf("cell %d (scenario %s, engine %s, topology %s, n=%d, ℓ=%d): %w",
 								idx, sc.Name, EngineName(engine), topo.DisplayName(cellTopo), n, ell, err)
@@ -419,7 +450,7 @@ func NewSweep(spec SweepSpec) (*Sweep, error) {
 
 // newSweepCell prepares one grid cell.
 func newSweepCell(idx int, sc Scenario, engine EngineKind, cellTopo Topology, n, ell, maxRounds, parallelism int,
-	cellSeed uint64, replicates int) (sweepCell, error) {
+	cellSeed uint64, replicates, batch int) (sweepCell, error) {
 	cell := sweepCell{meta: SweepCell{
 		Index:     idx,
 		Scenario:  sc.Name,
@@ -429,7 +460,7 @@ func newSweepCell(idx int, sc Scenario, engine EngineKind, cellTopo Topology, n,
 		Ell:       ell,
 		MaxRounds: maxRounds,
 		Seed:      cellSeed,
-	}}
+	}, batch: 1}
 	switch {
 	case sc.Run != nil:
 		init, sources := sc.resolved()
@@ -456,11 +487,12 @@ func newSweepCell(idx int, sc Scenario, engine EngineKind, cellTopo Topology, n,
 		return cell, nil
 	default:
 		cfg := sc.config(n, ell, maxRounds, engine, cellTopo, parallelism, cellSeed)
-		study, err := NewStudy(StudySpec{Replicates: replicates, Workers: 1, Config: &cfg})
+		study, err := NewStudy(StudySpec{Replicates: replicates, Workers: 1, Batch: batch, Config: &cfg})
 		if err != nil {
 			return cell, err
 		}
 		cell.study = study
+		cell.batch = batch
 		return cell, nil
 	}
 }
@@ -587,6 +619,11 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 			}
 		}
 
+		// Tasks are batch-granular: a task is a cell plus the start index
+		// of up to cell.batch consecutive replicates, which the claiming
+		// worker runs as one lockstep batch (cells with batch 1 degenerate
+		// to the historical one-replicate-per-task scheduling). Results
+		// still flow back one replicate at a time.
 		type task struct{ cell, rep int }
 		type taskDone struct {
 			cell int
@@ -600,11 +637,12 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 			go func() {
 				defer wg.Done()
 				for t := range tasks {
-					res := s.cells[t.cell].runReplicate(ctx, t.rep)
-					select {
-					case results <- taskDone{t.cell, res}:
-					case <-ctx.Done():
-						return
+					for _, res := range s.cells[t.cell].runBatch(ctx, t.rep) {
+						select {
+						case results <- taskDone{t.cell, res}:
+						case <-ctx.Done():
+							return
+						}
 					}
 				}
 			}()
@@ -612,7 +650,8 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepRow {
 		go func() {
 		feed:
 			for _, c := range todo {
-				for r := 0; r < s.replicates; r++ {
+				step := s.cells[c].batch
+				for r := 0; r < s.replicates; r += step {
 					select {
 					case tasks <- task{c, r}:
 					case <-ctx.Done():
