@@ -1,0 +1,77 @@
+// Command fetcheck is the repository's invariant multichecker: a
+// go/analysis-style driver for the five repo-specific analyzers in
+// internal/analysis (detrand, seedflow, rngmirror, hotpathalloc,
+// errenvelope).
+//
+// Usage:
+//
+//	fetcheck [-run names] [packages]
+//
+// With no packages it checks ./.... Diagnostics print as
+// file:line:col: analyzer: message, one per line; the exit status is
+// 1 when any diagnostic fired, 2 on a driver failure (a package that
+// does not type-check, a bad flag). CI runs it in the lint job next
+// to vet and staticcheck; it must exit 0 on the repository.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"passivespread/internal/analysis"
+	"passivespread/internal/analysis/fwk"
+)
+
+func main() {
+	var runNames string
+	var list bool
+	flag.StringVar(&runNames, "run", "", "comma-separated analyzer names to run (default: all)")
+	flag.BoolVar(&list, "list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fetcheck [-run names] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the repository's invariant analyzers over the packages\n(default ./...). Exits 1 on any diagnostic.\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var analyzers []*fwk.Analyzer
+	if runNames != "" {
+		for _, name := range strings.Split(runNames, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "fetcheck: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Check(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fetcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fetcheck: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

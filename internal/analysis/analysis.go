@@ -1,0 +1,61 @@
+// Package analysis assembles the repository's invariant checkers —
+// the fetcheck suite. Each subpackage mechanically enforces one
+// contract that the performance PRs rest on and that previously lived
+// only in DESIGN.md prose and after-the-fact runtime gates:
+//
+//	detrand      determinism: no wall clocks, math/rand, map-order or
+//	             ambient process state in deterministic packages
+//	seedflow     every generator seed flows from rng.StreamSeed
+//	rngmirror    raw RNG stream access carries exact-consumption
+//	             accounting
+//	hotpathalloc //fet:hotpath round loops stay allocation-free
+//	errenvelope  serve errors always cross the wire as the typed
+//	             envelope
+//
+// cmd/fetcheck is the multichecker front end; Check is the shared
+// entry point it and the repo-wide self-test use.
+package analysis
+
+import (
+	"passivespread/internal/analysis/detrand"
+	"passivespread/internal/analysis/errenvelope"
+	"passivespread/internal/analysis/fwk"
+	"passivespread/internal/analysis/hotpathalloc"
+	"passivespread/internal/analysis/rngmirror"
+	"passivespread/internal/analysis/seedflow"
+)
+
+// All returns the full fetcheck suite in stable order.
+func All() []*fwk.Analyzer {
+	return []*fwk.Analyzer{
+		detrand.Analyzer,
+		seedflow.Analyzer,
+		rngmirror.Analyzer,
+		hotpathalloc.Analyzer,
+		errenvelope.Analyzer,
+	}
+}
+
+// ByName resolves a comma-separable analyzer name, or nil.
+func ByName(name string) *fwk.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check loads the packages matching patterns (relative to dir) and
+// runs the given analyzers (nil = all), returning position-sorted
+// diagnostics.
+func Check(dir string, patterns []string, analyzers []*fwk.Analyzer) ([]fwk.Diagnostic, error) {
+	if analyzers == nil {
+		analyzers = All()
+	}
+	pkgs, err := fwk.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return fwk.RunAnalyzers(pkgs, analyzers)
+}

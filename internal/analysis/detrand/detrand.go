@@ -1,0 +1,115 @@
+// Package detrand forbids nondeterminism sources inside the
+// repository's deterministic packages.
+//
+// Every engine, sweep and serve answer in this repo is content-
+// addressed by (seed, cell): byte-identical output at any Workers ×
+// Batch is the contract that the golden tests, the sweep-fabric merge
+// verifier and the fetserve cache all rest on. A single wall-clock
+// read or unordered map iteration whose result reaches an output
+// breaks that silently — the diff only shows up replicates later, in
+// a cache mismatch or a shard that refuses to merge.
+//
+// detrand applies to the root package and everything under internal/
+// (cmd/ and examples/ are operator tooling and may time things). It
+// reports:
+//
+//   - imports of math/rand and math/rand/v2 — all randomness must flow
+//     from internal/rng's seeded streams;
+//   - uses of time.Now, time.Since, time.Until — wall-clock reads
+//     (time.Time values and durations are fine; reading the clock is
+//     not);
+//   - uses of os.Getenv, os.Environ, os.Getpid and
+//     runtime.NumGoroutine — ambient process state;
+//   - range over a map — iteration order is deliberately randomized by
+//     the runtime, so any map range in a deterministic package needs
+//     an order-insensitivity argument.
+//
+// Legitimate sites (an injected clock's default, a key-collection loop
+// that sorts before use) carry //fet:allow detrand: <reason>.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"passivespread/internal/analysis/fwk"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &fwk.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid nondeterminism sources (wall clocks, math/rand, map ranges, ambient process state) in deterministic packages",
+	Run:  run,
+}
+
+// bannedFuncs maps package path → banned top-level identifiers.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":  "ambient process state",
+		"Environ": "ambient process state",
+		"Getpid":  "ambient process state",
+	},
+	"runtime": {
+		"NumGoroutine": "scheduler-dependent value",
+	},
+}
+
+// inScope reports whether a package is held to the determinism
+// contract: the module root, anything under internal/, and (so the
+// fixtures exercise the real rules) any bare single-element fixture
+// path.
+func inScope(pkgPath string) bool {
+	if strings.HasPrefix(pkgPath, "passivespread/internal/") {
+		return true
+	}
+	return !strings.Contains(pkgPath, "/")
+}
+
+func run(pass *fwk.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"deterministic package imports %s; all randomness must derive from internal/rng seeded streams", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[node.Sel]
+				if obj == nil {
+					return true
+				}
+				pkg := fwk.PkgPath(obj)
+				if banned, ok := bannedFuncs[pkg]; ok {
+					if why, ok := banned[obj.Name()]; ok {
+						pass.Reportf(node.Pos(),
+							"deterministic package uses %s.%s (%s); inject the value or derive it from the seed",
+							pkg, obj.Name(), why)
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[node.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(node.Pos(),
+						"range over a map in a deterministic package: iteration order is randomized; iterate a sorted key slice, or annotate why order cannot reach any output")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"passivespread/internal/analysis/detrand"
+	"passivespread/internal/analysis/fwk/fwktest"
+)
+
+func TestDetrand(t *testing.T) {
+	fwktest.Run(t, "testdata", detrand.Analyzer, "detfix")
+}

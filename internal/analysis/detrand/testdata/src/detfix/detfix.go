@@ -1,0 +1,44 @@
+// Package detfix exercises every detrand rule: banned imports,
+// wall-clock reads, ambient process state, and map ranges, plus the
+// //fet:allow escape hatch.
+package detfix
+
+import (
+	_ "math/rand" // want `deterministic package imports math/rand`
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now`
+	return time.Since(start) // want `time\.Since`
+}
+
+func clockValue() func() time.Time {
+	return time.Now // want `time\.Now`
+}
+
+func ambient() string {
+	return os.Getenv("HOME") // want `os\.Getenv`
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `range over a map`
+		sum += v
+	}
+	return sum
+}
+
+func mapOrderArgued(m map[string]int) int {
+	sum := 0
+	//fet:allow detrand: summation is commutative; iteration order cannot reach the result
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// durationsAreFine shows that time.Time values and durations pass; only
+// reading the clock is banned.
+func durationsAreFine(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,102 @@
+// Package errenvelope enforces the serving layer's typed error
+// vocabulary.
+//
+// Every fetserve error crosses the wire as the canonical JSON envelope
+// {"error":{"code","message"}} with a code from the closed set
+// invalidArgument / notFound / overloaded / internal — that is what
+// the golden wire-contract tests pin and what clients switch on.
+// A handler that writes raw error text (http.Error, a bare
+// WriteHeader + body, an untyped fmt.Errorf reaching the envelope
+// writer) silently downgrades a typed failure into unparseable prose.
+//
+// In serve packages (path element "serve"), errenvelope reports:
+//
+//   - any call to http.Error — the envelope writer is writeError;
+//   - fmt.Errorf or errors.New passed directly to writeError — the
+//     error reaches the wire as code "internal" with arbitrary text;
+//     construct it with Errorf(Code..., ...) so the code is chosen,
+//     not defaulted;
+//   - WriteHeader with a constant status ≥ 400 outside writeError —
+//     an error response bypassing the envelope entirely.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"passivespread/internal/analysis/fwk"
+)
+
+// Analyzer is the errenvelope pass.
+var Analyzer = &fwk.Analyzer{
+	Name: "errenvelope",
+	Doc:  "serve handlers must answer errors through the typed envelope (Errorf + writeError), never raw text",
+	Run:  run,
+}
+
+func inScope(path string) bool { return fwk.PathTail(path, "serve") }
+
+func run(pass *fwk.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inWriteError := fn.Name.Name == "writeError"
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call, inWriteError)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *fwk.Pass, call *ast.CallExpr, inWriteError bool) {
+	callee := fwk.FuncFor(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	pkg := fwk.PkgPath(callee)
+	name := callee.Name()
+	switch {
+	case pkg == "net/http" && name == "Error":
+		pass.Reportf(call.Pos(),
+			"http.Error writes raw text; answer through the typed envelope (writeError with an Errorf(Code..., ...) error)")
+	case name == "WriteHeader" && !inWriteError:
+		if len(call.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+				if status, ok := constant.Int64Val(tv.Value); ok && status >= 400 {
+					pass.Reportf(call.Pos(),
+						"WriteHeader(%d) outside writeError bypasses the error envelope; return a typed error instead", status)
+				}
+			}
+		}
+	case name == "writeError" && pkg == pass.Pkg.Path():
+		if len(call.Args) != 2 {
+			return
+		}
+		argCall, ok := ast.Unparen(call.Args[1]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		argCallee := fwk.FuncFor(pass.TypesInfo, argCall)
+		if argCallee == nil {
+			return
+		}
+		argPkg := fwk.PkgPath(argCallee)
+		if (argPkg == "fmt" && argCallee.Name() == "Errorf") || (argPkg == "errors" && argCallee.Name() == "New") {
+			pass.Reportf(argCall.Pos(),
+				"untyped %s.%s reaches the envelope writer and defaults to code \"internal\"; construct it with Errorf(Code..., ...)",
+				argPkg, argCallee.Name())
+		}
+	}
+}

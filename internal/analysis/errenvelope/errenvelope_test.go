@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"passivespread/internal/analysis/errenvelope"
+	"passivespread/internal/analysis/fwk/fwktest"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	fwktest.Run(t, "testdata", errenvelope.Analyzer, "serve")
+}

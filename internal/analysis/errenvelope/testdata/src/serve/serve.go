@@ -1,0 +1,42 @@
+// Package serve exercises the errenvelope rules: serve handlers answer
+// errors only through the typed envelope writer, never raw text, bare
+// status codes, or untyped errors.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+type envErr struct {
+	code string
+	msg  string
+}
+
+func (e *envErr) Error() string { return e.code + ": " + e.msg }
+
+// Errorf builds a typed envelope error, mirroring the real serve API.
+func Errorf(code, format string, args ...any) error {
+	return &envErr{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError is the envelope writer; it alone may set error statuses.
+func writeError(w http.ResponseWriter, err error) {
+	w.WriteHeader(http.StatusInternalServerError)
+	fmt.Fprintln(w, err)
+}
+
+func rawText(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error writes raw text`
+}
+
+func bareStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNotFound) // want `WriteHeader\(404\) outside writeError bypasses the error envelope`
+}
+
+func untyped(w http.ResponseWriter) {
+	writeError(w, fmt.Errorf("no such cell"))  // want `untyped fmt\.Errorf reaches the envelope writer`
+	writeError(w, errors.New("no such cell"))  // want `untyped errors\.New reaches the envelope writer`
+	writeError(w, Errorf("notFound", "typed")) // the typed construction passes
+}

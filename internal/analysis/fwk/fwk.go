@@ -1,0 +1,250 @@
+// Package fwk is the repository's static-analysis framework: a
+// self-contained reimplementation of the golang.org/x/tools/go/analysis
+// Analyzer/Pass shape on the standard library alone.
+//
+// The build environment bakes in no third-party modules, so the usual
+// x/tools multichecker scaffolding is unavailable; fwk provides the
+// same contract — an Analyzer is a named Run function over a
+// type-checked package, reporting position-anchored diagnostics — with
+// two repo-specific additions baked into the driver:
+//
+//   - //fet:allow <analyzer>: <reason> suppresses that analyzer's
+//     diagnostics on the directive's line and the line below it. The
+//     reason is mandatory: every exemption from a repo invariant is a
+//     documented exemption.
+//   - //fet:hotpath marks a function whose body the hotpathalloc
+//     analyzer audits for allocating constructs (see IsHotpath).
+//
+// Malformed //fet: directives are themselves diagnostics, so a typo'd
+// allowlist entry fails the build instead of silently disabling a
+// check.
+package fwk
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single
+// type-checked package via the Pass and reports findings with
+// Pass.Reportf; returning an error aborts the whole fetcheck run
+// (reserved for internal failures, not findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Aliases are additional keys accepted by //fet:allow directives
+	// for this analyzer (hotpathalloc also answers to "alloc").
+	Aliases []string
+	Run     func(*Pass) error
+}
+
+// keys returns every //fet:allow key that addresses this analyzer.
+func (a *Analyzer) keys() []string { return append([]string{a.Name}, a.Aliases...) }
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allows map[string]map[int][]string // file → line → allowed keys
+	sink   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a matching //fet:allow
+// directive covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowed(pos token.Position) bool {
+	lines := p.allows[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, key := range lines[pos.Line] {
+		for _, want := range p.Analyzer.keys() {
+			if key == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Directive prefixes. allowPrefix demands "key: reason"; hotpathDirective
+// is exact.
+const (
+	hotpathDirective = "//fet:hotpath"
+	allowPrefix      = "//fet:allow "
+	directivePrefix  = "//fet:"
+)
+
+// IsHotpath reports whether fn carries the //fet:hotpath directive in
+// its doc comment group.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow splits a well-formed allow directive into its key. It
+// returns ok=false when the text is not an allow directive at all, and
+// a non-empty problem when it is one but malformed (missing key or
+// reason).
+func parseAllow(text string) (key string, ok bool, problem string) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", false, ""
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	key, reason, found := strings.Cut(rest, ":")
+	key = strings.TrimSpace(key)
+	if !found || key == "" || strings.TrimSpace(reason) == "" {
+		return "", true, "want \"//fet:allow <analyzer>: <reason>\""
+	}
+	return key, true, ""
+}
+
+// directiveIndex scans a package's comments once, building the
+// per-line allow index and reporting malformed //fet: directives as
+// diagnostics of the pseudo-analyzer "directive".
+func directiveIndex(fset *token.FileSet, files []*ast.File, sink *[]Diagnostic) map[string]map[int][]string {
+	allows := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if text == hotpathDirective {
+					continue
+				}
+				key, isAllow, problem := parseAllow(text)
+				switch {
+				case !isAllow:
+					*sink = append(*sink, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("unknown //fet: directive %q (want //fet:hotpath or //fet:allow)", text)})
+				case problem != "":
+					*sink = append(*sink, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("malformed allow directive %q: %s", text, problem)})
+				default:
+					byLine := allows[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]string{}
+						allows[pos.Filename] = byLine
+					}
+					// The directive covers its own line (inline form) and
+					// the next line (standalone form above the statement).
+					byLine[pos.Line] = append(byLine[pos.Line], key)
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], key)
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position. Directive hygiene
+// (malformed //fet: comments) is checked once per package.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := directiveIndex(pkg.Fset, pkg.Files, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				allows:    allows,
+				sink:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// FuncFor resolves the called function or method of a call expression,
+// or nil when the callee is not a declared func (a conversion, a
+// builtin, a func-typed variable).
+func FuncFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgPath returns the defining package path of obj ("" for builtins
+// and universe objects).
+func PkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// PathTail reports whether pkgPath's final path element equals name:
+// "passivespread/internal/rng" and the fixture path "rng" both answer
+// to "rng". Analyzers use it so scope rules carry over to testdata
+// fixture packages unchanged.
+func PathTail(pkgPath, name string) bool {
+	return pkgPath == name || strings.HasSuffix(pkgPath, "/"+name)
+}

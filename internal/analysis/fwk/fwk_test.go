@@ -1,0 +1,162 @@
+package fwk
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one dependency-free source string and runs the
+// given analyzers over it, returning the diagnostics.
+func checkSrc(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// reportEveryFunc flags every function declaration; used to observe
+// where //fet:allow suppresses.
+func reportEveryFunc(name string, aliases ...string) *Analyzer {
+	return &Analyzer{
+		Name:    name,
+		Doc:     "test analyzer",
+		Aliases: aliases,
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					if fn, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "func %s", fn.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	src := `package p
+
+func flagged() {}
+
+//fet:allow testcheck: reasoned exemption
+func standalone() {}
+
+func inline() {} //fet:allow testcheck: inline exemption
+
+//fet:allow other: wrong analyzer
+func wrongKey() {}
+`
+	diags := checkSrc(t, src, reportEveryFunc("testcheck"))
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{"func flagged", "func wrongKey"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("diagnostics = %v, want %v", got, want)
+	}
+}
+
+func TestAllowDirectiveAlias(t *testing.T) {
+	src := `package p
+
+//fet:allow short: alias addresses the analyzer
+func aliased() {}
+`
+	diags := checkSrc(t, src, reportEveryFunc("longname", "short"))
+	if len(diags) != 0 {
+		t.Errorf("alias did not suppress: %v", diags)
+	}
+}
+
+func TestMalformedDirectivesAreDiagnostics(t *testing.T) {
+	src := `package p
+
+//fet:allow testcheck
+func missingReason() {}
+
+//fet:allow : no key
+func missingKey() {}
+
+//fet:frobnicate
+func unknown() {}
+`
+	diags := checkSrc(t, src)
+	var malformed, unknown int
+	for _, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+		switch {
+		case strings.Contains(d.Message, "malformed allow directive"):
+			malformed++
+		case strings.Contains(d.Message, "unknown //fet: directive"):
+			unknown++
+		}
+	}
+	if malformed != 2 || unknown != 1 {
+		t.Errorf("got %d malformed + %d unknown directive diagnostics, want 2 + 1: %v", malformed, unknown, diags)
+	}
+}
+
+func TestIsHotpath(t *testing.T) {
+	src := `package p
+
+//fet:hotpath
+func hot() {}
+
+// plain doc comment.
+func cold() {}
+
+func bare() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"hot": true, "cold": false, "bare": false}
+	for _, decl := range f.Decls {
+		fn := decl.(*ast.FuncDecl)
+		if got := IsHotpath(fn); got != want[fn.Name.Name] {
+			t.Errorf("IsHotpath(%s) = %v, want %v", fn.Name.Name, got, want[fn.Name.Name])
+		}
+	}
+}
+
+func TestPathTail(t *testing.T) {
+	cases := []struct {
+		path, name string
+		want       bool
+	}{
+		{"passivespread/internal/rng", "rng", true},
+		{"rng", "rng", true},
+		{"passivespread/internal/serve", "serve", true},
+		{"passivespread/internal/rngx", "rng", false},
+		{"strings", "rng", false},
+	}
+	for _, c := range cases {
+		if got := PathTail(c.path, c.name); got != c.want {
+			t.Errorf("PathTail(%q, %q) = %v, want %v", c.path, c.name, got, c.want)
+		}
+	}
+}

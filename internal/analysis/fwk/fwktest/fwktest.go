@@ -1,0 +1,270 @@
+// Package fwktest runs fwk analyzers over testdata fixture packages
+// and checks their diagnostics against // want comments — the
+// analysistest contract, reimplemented on the standard library.
+//
+// Fixtures live under <testdata>/src/<importpath>/. A fixture package
+// may import sibling fixtures by their path under src/ (a stub "rng",
+// say), which are type-checked from source; any other import is
+// resolved to real export data via `go list -export`.
+//
+// Expectations are inline comments on the offending line:
+//
+//	src := rand.New(nil) // want `math/rand`
+//
+// Each quoted string is a regular expression that must match exactly
+// one diagnostic reported on that line; unmatched expectations and
+// unexpected diagnostics both fail the test.
+package fwktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"passivespread/internal/analysis/fwk"
+)
+
+// Run loads each fixture package under dir/src and applies the
+// analyzer, failing t on any mismatch with the // want expectations.
+func Run(t *testing.T, dir string, analyzer *fwk.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader, err := newLoader(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range pkgPaths {
+		pkg, err := loader.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := fwk.RunAnalyzers([]*fwk.Package{pkg.analysisPkg}, []*fwk.Analyzer{analyzer})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", analyzer.Name, path, err)
+		}
+		checkExpectations(t, path, pkg, diags)
+	}
+}
+
+type fixturePkg struct {
+	analysisPkg *fwk.Package
+	wants       []*expectation
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// loader type-checks fixture packages from source, memoized, with
+// non-fixture imports resolved through real export data.
+type loader struct {
+	srcDir   string
+	fset     *token.FileSet
+	conf     types.Config
+	pkgs     map[string]*fixturePkg
+	inFlight map[string]bool
+	exports  *lazyExports
+}
+
+func newLoader(srcDir string) (*loader, error) {
+	l := &loader{
+		srcDir:   srcDir,
+		fset:     token.NewFileSet(),
+		pkgs:     map[string]*fixturePkg{},
+		inFlight: map[string]bool{},
+	}
+	l.exports = &lazyExports{fset: l.fset}
+	l.conf = types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	return l, nil
+}
+
+// loaderImporter adapts loader to types.Importer: fixture-local paths
+// are built from source, everything else from export data.
+type loaderImporter loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := filepath.Join(l.srcDir, path); isDir(dir) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.analysisPkg.Types, nil
+	}
+	return l.exports.Import(path)
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.inFlight[path] {
+		return nil, fmt.Errorf("fixture import cycle through %q", path)
+	}
+	l.inFlight[path] = true
+	defer delete(l.inFlight, path)
+
+	dir := filepath.Join(l.srcDir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		w, err := parseWants(l.fset, f)
+		if err != nil {
+			return nil, err
+		}
+		wants = append(wants, w...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+	info := fwk.NewTypesInfo()
+	tpkg, err := l.conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %v", path, err)
+	}
+	pkg := &fixturePkg{
+		analysisPkg: &fwk.Package{
+			Path:      path,
+			Fset:      l.fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		},
+		wants: wants,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// lazyExports resolves non-fixture imports through `go list -export`,
+// invoked at most once per missing batch and cached.
+type lazyExports struct {
+	fset    *token.FileSet
+	imp     types.Importer
+	exports map[string]string
+}
+
+func (le *lazyExports) Import(path string) (*types.Package, error) {
+	if le.exports == nil {
+		le.exports = map[string]string{}
+	}
+	if _, ok := le.exports[path]; !ok {
+		listed, err := fwk.ListExports(".", path)
+		if err != nil {
+			return nil, err
+		}
+		//fet:allow detrand: map→map table copy; insertion order cannot reach any output
+		for p, f := range listed {
+			le.exports[p] = f
+		}
+		// Rebuild the importer: its internal package cache predates the
+		// new table entries.
+		le.imp = nil
+	}
+	if le.imp == nil {
+		le.imp = fwk.NewImporter(le.fset, le.exports)
+	}
+	return le.imp.Import(path)
+}
+
+// checkExpectations cross-matches diagnostics against wants.
+func checkExpectations(t *testing.T, path string, pkg *fixturePkg, diags []fwk.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range pkg.wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", path, d)
+		}
+	}
+	sort.Slice(pkg.wants, func(i, j int) bool {
+		if pkg.wants[i].file != pkg.wants[j].file {
+			return pkg.wants[i].file < pkg.wants[j].file
+		}
+		return pkg.wants[i].line < pkg.wants[j].line
+	})
+	for _, w := range pkg.wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", path, w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts // want "re" ["re" ...] expectations from one
+// file's comments. Both double-quoted and backquoted patterns are
+// accepted, as in analysistest.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+			for rest != "" {
+				quoted, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: malformed want comment %q: %v", pos, c.Text, err)
+				}
+				pattern, err := strconv.Unquote(quoted)
+				if err != nil {
+					return nil, fmt.Errorf("%s: malformed want pattern %q: %v", pos, quoted, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("%s: want pattern %q: %v", pos, pattern, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				rest = strings.TrimSpace(rest[len(quoted):])
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,188 @@
+package fwk
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns from
+// dir and decodes the JSON stream. -export compiles every package and
+// records its export-data file, which is what lets the type checker
+// resolve imports without reparsing the world; -deps pulls in the
+// transitive closure so the lookup table is complete.
+func goList(dir string, patterns ...string) ([]listPackage, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from a path → export-data-file table
+// via the standard gc importer.
+type exportImporter struct {
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{exports: exports}
+	e.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+// Load lists, parses and type-checks the packages matching the
+// patterns (relative to dir). Test files are not loaded: the analyzers
+// guard shipped invariants, and test packages routinely (and
+// legitimately) use wall clocks, literal seeds and map ranges.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewTypesInfo()
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:      t.ImportPath,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// ListExports resolves the patterns (and their transitive deps) to a
+// package-path → export-data-file table, for callers that type-check
+// their own sources — the fixture loader in fwktest.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter returns a types.Importer over an export-data table (see
+// ListExports), with "unsafe" handled natively.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newExportImporter(fset, exports)
+}
+
+// NewTypesInfo allocates the types.Info maps every analyzer relies on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,191 @@
+// Package hotpathalloc statically audits //fet:hotpath functions for
+// allocating constructs.
+//
+// The PR 5/6/9 round loops are allocation-free by contract — the CI
+// bench job pins allocs/op == 0 at runtime. That gate only fires on
+// the benchmarked configurations; a new allocation behind an untested
+// branch (an error path taken once per study, a rare topology) slips
+// through until it costs a regression hunt. hotpathalloc complements
+// the runtime gate at the source level: inside a function marked
+//
+//	//fet:hotpath
+//
+// it reports every construct the compiler may lower to a heap
+// allocation or a scheduler interaction:
+//
+//   - make, new, and slice/map composite literals;
+//   - append calls (grow-in-loop; hoist the buffer);
+//   - func literals (closure environments escape);
+//   - go and defer statements;
+//   - any call into fmt;
+//   - string concatenation and string ↔ []byte/[]rune conversions;
+//   - interface boxing: a non-pointer concrete value passed to an
+//     interface-typed parameter (pointers fit in the interface word;
+//     other values may escape).
+//
+// Cold paths inside hot functions (a panic message, a once-per-run
+// error) are annotated //fet:allow alloc: <reason>. The directive
+// does not propagate into callees: the runtime gate owns whole-path
+// coverage, this check owns the marked frames.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"passivespread/internal/analysis/fwk"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &fwk.Analyzer{
+	Name:    "hotpathalloc",
+	Doc:     "report allocating constructs inside //fet:hotpath functions",
+	Aliases: []string{"alloc"},
+	Run:     run,
+}
+
+func run(pass *fwk.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fwk.IsHotpath(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *fwk.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(node.Pos(), "go statement in hot path: spawn workers once, feed them per round")
+		case *ast.DeferStmt:
+			pass.Reportf(node.Pos(), "defer in hot path: run the epilogue inline")
+		case *ast.FuncLit:
+			pass.Reportf(node.Pos(), "func literal in hot path: closure environments escape to the heap")
+			return false // its body is not this frame
+		case *ast.CompositeLit:
+			tv, ok := info.Types[node]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(node.Pos(), "slice literal in hot path: hoist the buffer onto the executor")
+			case *types.Map:
+				pass.Reportf(node.Pos(), "map literal in hot path: hoist the table onto the executor")
+			}
+		case *ast.BinaryExpr:
+			if node.Op.String() == "+" {
+				if tv, ok := info.Types[node]; ok && isString(tv.Type) {
+					pass.Reportf(node.Pos(), "string concatenation in hot path allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, node)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *fwk.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins and conversions.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path: allocate once at construction, reuse per round")
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path: allocate once at construction, reuse per round")
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path: grow the buffer at construction, index per round")
+			}
+			return
+		}
+	default:
+		_ = fun
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// A conversion: string ↔ byte/rune slices copy.
+		to := tv.Type
+		if len(call.Args) == 1 {
+			if from, ok := info.Types[call.Args[0]]; ok {
+				if (isString(to) && isByteOrRuneSlice(from.Type)) || (isByteOrRuneSlice(to) && isString(from.Type)) {
+					pass.Reportf(call.Pos(), "string/slice conversion in hot path copies its operand")
+				}
+			}
+		}
+		return
+	}
+	callee := fwk.FuncFor(info, call)
+	if callee != nil && fwk.PkgPath(callee) == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path: formatting allocates (and boxes every operand)", callee.Name())
+		return
+	}
+	checkBoxing(pass, call)
+}
+
+// checkBoxing reports non-pointer concrete arguments passed to
+// interface-typed parameters.
+func checkBoxing(pass *fwk.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		t := at.Type
+		if types.IsInterface(t) || at.IsNil() {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"interface boxing in hot path: %s passed as %s may escape; pass a pointer or a concrete type", t, pt)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"passivespread/internal/analysis/fwk/fwktest"
+	"passivespread/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	fwktest.Run(t, "testdata", hotpathalloc.Analyzer, "hotfix")
+}

@@ -1,0 +1,52 @@
+// Package hotfix exercises every hotpathalloc rule inside a
+// //fet:hotpath function, the //fet:allow alloc escape hatch (the
+// analyzer's directive alias), and that unmarked functions are free to
+// allocate.
+package hotfix
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type consumer interface{ accept(v any) }
+
+func work() {}
+
+//fet:hotpath
+func hot(t string) string {
+	buf := make([]int, 8) // want `make in hot path`
+	buf = append(buf, 1)  // want `append in hot path`
+	m := map[int]int{}    // want `map literal in hot path`
+	_ = m
+	sl := []int{1, 2} // want `slice literal in hot path`
+	_ = sl
+	p := new(int) // want `new in hot path`
+	_ = p
+	go work()      // want `go statement in hot path`
+	defer work()   // want `defer in hot path`
+	f := func() {} // want `func literal in hot path`
+	f()
+	name := "round-" + t // want `string concatenation in hot path`
+	b := []byte(name)    // want `string/slice conversion in hot path`
+	_ = b
+	fmt.Println(len(buf)) // want `fmt\.Println in hot path`
+	return name
+}
+
+//fet:hotpath
+func hotBoxed(c consumer, pt point) {
+	c.accept(pt) // want `interface boxing in hot path`
+	c.accept(&pt)
+}
+
+//fet:hotpath
+func hotAllowed(broken bool) error {
+	if broken {
+		//fet:allow alloc: cold error path, taken at most once per run
+		return fmt.Errorf("broken")
+	}
+	return nil
+}
+
+// coldSetup is unmarked: construction-time allocation is the point.
+func coldSetup() []int { return make([]int, 8) }

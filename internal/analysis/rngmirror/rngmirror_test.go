@@ -1,0 +1,12 @@
+package rngmirror_test
+
+import (
+	"testing"
+
+	"passivespread/internal/analysis/fwk/fwktest"
+	"passivespread/internal/analysis/rngmirror"
+)
+
+func TestRNGMirror(t *testing.T) {
+	fwktest.Run(t, "testdata", rngmirror.Analyzer, "mirrorfix", "rng")
+}

@@ -1,0 +1,27 @@
+// Package mirrorfix exercises the rngmirror rule outside internal/rng:
+// every raw-consumption call site must carry a draw-count accounting
+// annotation; typed draws need nothing.
+package mirrorfix
+
+import "rng"
+
+func raw(src *rng.Source) uint64 {
+	return src.Uint64() // want `raw rng\.Source\.Uint64 consumption outside internal/rng`
+}
+
+func bulk(src *rng.Source, buf []uint64) {
+	src.Fill(buf) // want `raw rng\.Source\.Fill consumption outside internal/rng`
+}
+
+func skip(src *rng.Source, n uint64) {
+	src.Advance(n) // want `raw rng\.Source\.Advance consumption outside internal/rng`
+}
+
+func accounted(src *rng.Source, buf []uint64) {
+	//fet:allow rngmirror: prefetches exactly len(buf) outputs, consumed one per draw by the caller
+	src.Fill(buf)
+}
+
+func typed(src *rng.Source) int {
+	return src.Intn(10)
+}

@@ -1,0 +1,25 @@
+// Package rng is a stub of the real internal/rng surface for the
+// rngmirror fixtures. Inside an rng package the analyzer checks that
+// raw-consumption kernels document their exact consumption.
+package rng
+
+// Source is the stub generator.
+type Source struct{ s uint64 }
+
+// Fill writes exactly len(buf) successive stream outputs into buf, in
+// draw order.
+func (s *Source) Fill(buf []uint64) {
+	for i := range buf {
+		s.s++
+		buf[i] = s.s
+	}
+}
+
+// Advance discards the next n outputs.
+func (s *Source) Advance(n uint64) { s.s += n } // want `kernel Advance must document its exact stream consumption`
+
+// Uint64 returns the next raw stream output.
+func (s *Source) Uint64() uint64 { s.s++; return s.s }
+
+// Intn is a typed draw: the accounting is internal to rng.
+func (s *Source) Intn(n int) int { return int(s.Uint64() % uint64(n)) }

@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"passivespread/internal/analysis/fwk/fwktest"
+	"passivespread/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	fwktest.Run(t, "testdata", seedflow.Analyzer, "seedfix")
+}

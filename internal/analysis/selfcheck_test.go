@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"passivespread/internal/analysis"
+)
+
+// TestRepoIsClean runs the full fetcheck suite over the repository —
+// the same invocation as CI's `go run ./cmd/fetcheck ./...` — and
+// requires zero diagnostics. Every invariant exemption in the tree is
+// therefore a reviewed //fet:allow with a reason, never an unnoticed
+// violation.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide load is slow; run without -short")
+	}
+	diags, err := analysis.Check("../..", []string{"./..."}, nil)
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostic(s); fix the site or annotate it with //fet:allow <analyzer>: <reason>", len(diags))
+	}
+}

@@ -67,6 +67,7 @@ func runE10(cfg Config) (*Report, error) {
 	ell := 36
 	mcTrials := pick(cfg, 200000, 20000)
 	driftTab := tablefmt.New("x_t", "x_{t+1}", "g(x,y) exact", "Monte-Carlo", "abs diff")
+	//fet:allow seedflow: legacy pre-StreamSeed derivation; the E-series Monte-Carlo tables recorded in EXPERIMENTS.md pin this stream
 	src := rng.New(cfg.Seed ^ 0xdead)
 	worst := 0.0
 	for _, xy := range [][2]float64{{0.1, 0.1}, {0.3, 0.5}, {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.95}} {

@@ -158,6 +158,7 @@ func runE03(cfg Config) (*Report, error) {
 // formatExits renders an exit histogram as "dest 97%, other 3%".
 func formatExits(exits map[string]int) string {
 	total := 0
+	//fet:allow detrand: order-insensitive sum over the histogram
 	for _, c := range exits {
 		total += c
 	}
@@ -166,6 +167,7 @@ func formatExits(exits map[string]int) string {
 		v int
 	}
 	list := make([]kv, 0, len(exits))
+	//fet:allow detrand: keys are collected then sorted before rendering
 	for k, v := range exits {
 		list = append(list, kv{k, v})
 	}

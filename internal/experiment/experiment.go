@@ -125,6 +125,7 @@ func All() []Experiment {
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	out := make([]Experiment, 0, len(registry))
+	//fet:allow detrand: entries are collected then sorted by ID below
 	for _, e := range registry {
 		out = append(out, e)
 	}

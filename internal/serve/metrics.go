@@ -65,6 +65,7 @@ func (m *metrics) render(cache CacheStats) string {
 	b.WriteString("# HELP fetserve_requests_total Requests per tool and outcome code.\n")
 	b.WriteString("# TYPE fetserve_requests_total counter\n")
 	tools := make([]string, 0, len(m.tools))
+	//fet:allow detrand: keys are collected then sorted before rendering
 	for name := range m.tools {
 		tools = append(tools, name)
 	}
@@ -72,6 +73,7 @@ func (m *metrics) render(cache CacheStats) string {
 	for _, name := range tools {
 		tm := m.tools[name]
 		codes := make([]string, 0, len(tm.requests))
+		//fet:allow detrand: keys are collected then sorted before rendering
 		for code := range tm.requests {
 			codes = append(codes, code)
 		}

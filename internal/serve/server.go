@@ -39,6 +39,11 @@ type Config struct {
 	CacheBytes int64
 	// CacheDir enables the persistent disk tier ("" = memory only).
 	CacheDir string
+	// Now supplies the clock for uptime and handler-latency metrics
+	// (nil = time.Now). Injected so the serve package reads the wall
+	// clock in exactly one place — the detrand-allowlisted default
+	// below — and so latency observation is unit-testable.
+	Now func() time.Time
 }
 
 // Server is the fetserve HTTP service. Construct with New; expose with
@@ -50,6 +55,7 @@ type Server struct {
 	slots    chan struct{}
 	workers  int
 	rejected int // corrupt disk-cache entries rejected at boot
+	now      func() time.Time
 	started  time.Time
 	mux      *http.ServeMux
 }
@@ -71,6 +77,11 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	now := cfg.Now
+	if now == nil {
+		//fet:allow detrand: the injected clock's default — the package's single wall-clock reference
+		now = time.Now
+	}
 	s := &Server{
 		backend:  cfg.Backend,
 		cache:    cache,
@@ -78,7 +89,8 @@ func New(cfg Config) (*Server, error) {
 		slots:    make(chan struct{}, workers),
 		workers:  workers,
 		rejected: rejected,
-		started:  time.Now(),
+		now:      now,
+		started:  now(),
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/tools/"+ToolStudyRun, ToolStudyRun, s.handleStudyRun)
@@ -104,9 +116,9 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // request and records the outcome code under the tool's name.
 func (s *Server) route(pattern, tool string, h func(w http.ResponseWriter, r *http.Request) string) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := s.now()
 		outcome := h(w, r)
-		s.metrics.observe(tool, outcome, time.Since(start))
+		s.metrics.observe(tool, outcome, s.now().Sub(start))
 	})
 }
 
@@ -114,7 +126,7 @@ func (s *Server) route(pattern, tool string, h func(w http.ResponseWriter, r *ht
 func writeJSON(w http.ResponseWriter, v interface{}) string {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return string(writeError(w, fmt.Errorf("serve: encoding response: %v", err)))
+		return string(writeError(w, Errorf(CodeInternal, "serve: encoding response: %v", err)))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)

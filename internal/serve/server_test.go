@@ -439,3 +439,38 @@ func TestServerPersistentCacheAcrossRestart(t *testing.T) {
 		t.Fatal("restarted daemon re-ran a persisted cell")
 	}
 }
+
+// fakeClock is a deterministic Config.Now: every reading advances a
+// fixed step, so each instrumented request observes exactly one step
+// of latency (route reads the clock twice, at entry and exit).
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestServerInjectedClockLatency(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1700000000, 0), step: 250 * time.Millisecond}
+	s, _ := newTestServer(t, Config{Now: clock.now})
+	h := s.Handler()
+	if w := get(t, h, "/v1/tools/fet.health"); w.Code != http.StatusOK {
+		t.Fatalf("health: %d", w.Code)
+	}
+	body := get(t, h, "/metrics").Body.String()
+	// 250 ms lands in the le="1" bucket and nothing earlier; the sum and
+	// count are exact because the clock is injected.
+	for _, want := range []string{
+		`fetserve_request_seconds_bucket{tool="fet.health",le="0.01"} 0`,
+		`fetserve_request_seconds_bucket{tool="fet.health",le="1"} 1`,
+		`fetserve_request_seconds_sum{tool="fet.health"} 0.25`,
+		`fetserve_request_seconds_count{tool="fet.health"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing exact line %q\n%s", want, body)
+		}
+	}
+}

@@ -363,6 +363,8 @@ func (e *agentExecutor) close() {
 func (e *agentExecutor) Ones() int { return e.ones }
 
 // Step implements roundExecutor.
+//
+//fet:hotpath
 func (e *agentExecutor) Step(correct byte) error {
 	c := e.cfg
 	n := c.N
@@ -418,12 +420,15 @@ func (e *agentExecutor) Step(correct byte) error {
 // from its own RNG stream, so shards are independent and the sweep order
 // inside a shard never affects other shards — the basis of the parallel
 // engine's bit-identical determinism.
+//
+//fet:hotpath
 func (e *agentExecutor) stepShard(lo, hi int, obs reusableObserver) (onesDelta int, err error) {
 	for i := lo; i < hi; i++ {
 		obs.bind(i, &e.srcs[i])
 		cur := e.opinions.get(i)
 		out := e.agents[i].Step(cur, obs)
 		if out > 1 {
+			//fet:allow alloc: cold error path — taken at most once per run, on a broken Protocol implementation
 			return 0, fmt.Errorf("sim: protocol %q produced opinion %d", e.cfg.Protocol.Name(), out)
 		}
 		e.next.set(i, out)
@@ -437,6 +442,8 @@ func (e *agentExecutor) stepShard(lo, hi int, obs reusableObserver) (onesDelta i
 // bitset and touches only its shard's RNG streams, so the merged result
 // is byte-identical to the sequential sweep for any worker count — and
 // the whole round performs zero allocations and zero goroutine spawns.
+//
+//fet:hotpath
 func (e *agentExecutor) stepParallel() (int, error) {
 	e.wg.Add(e.workers)
 	for w := 0; w < e.workers; w++ {

@@ -231,6 +231,8 @@ func (e *lockstepExecutor) populate(c *Config, lanes []LaneRun) error {
 // stepRound advances every active lane one synchronous round. correct is
 // the sources' current opinion (identical across active lanes — the
 // flip schedule is configuration-level).
+//
+//fet:hotpath
 func (e *lockstepExecutor) stepRound(correct byte, active uint64) {
 	c := e.cfg
 	n, W := c.N, e.lanes
@@ -283,6 +285,7 @@ func (e *lockstepExecutor) stepRound(correct byte, active uint64) {
 		if e.debt[l] > 0 {
 			adv := int(e.debt[l]) * e.d
 			for j := c.Sources; j < n; j++ {
+				//fet:allow rngmirror: settles exactly debt·d deferred draws per agent stream — the outputs the skipped degenerate rounds would have consumed
 				e.srcs[j*W+l].Advance(adv)
 			}
 			e.debt[l] = 0
@@ -313,6 +316,8 @@ func (e *lockstepExecutor) stepRound(correct byte, active uint64) {
 // preallocated buffers: zero allocations, no interface dispatch, and
 // independent lanes give the superscalar core independent RNG
 // dependency chains to overlap.
+//
+//fet:hotpath
 func (e *lockstepExecutor) kernel(live uint64) {
 	c := e.cfg
 	n, W := c.N, e.lanes
@@ -333,6 +338,7 @@ func (e *lockstepExecutor) kernel(live uint64) {
 			t := tcols[l]
 			g := gcols[l]
 
+			//fet:allow rngmirror: one output per protocol draw — the same single consumption as the tabulated SampleU path
 			mant := src.Uint64() >> 11
 			k := int(g[mant>>rng.GuideShift])
 			for mant >= t[k] {
@@ -341,6 +347,7 @@ func (e *lockstepExecutor) kernel(live uint64) {
 			c0 := k
 			store := c0
 			if d2 {
+				//fet:allow rngmirror: second of the protocol's d=2 draws, single consumption as above
 				mant = src.Uint64() >> 11
 				k = int(g[mant>>rng.GuideShift])
 				for mant >= t[k] {

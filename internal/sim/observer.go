@@ -84,6 +84,10 @@ type roundTable struct {
 func (o *fastObserver) bind(_ int, src *rng.Source) {
 	o.src = src
 	if o.draws > 0 {
+		// Exact mirror: prefetches the protocol's declared per-round
+		// consumption (FixedDraws); each tabulated Sample/CountOnes call
+		// consumes exactly one buffered output, in draw order.
+		//fet:allow rngmirror: Fill(draws) = the declared FixedDraws budget, consumed one per sampling call
 		src.Fill(o.buf[:o.draws])
 		o.pos, o.have = 0, o.draws
 	}
@@ -95,6 +99,7 @@ func (o *fastObserver) newRound(_ int, x float64, tables []roundTable) {
 	o.pos, o.have = 0, 0
 }
 
+//fet:hotpath
 func (o *fastObserver) CountOnes(m int) int {
 	for i := range o.tables {
 		if t := &o.tables[i]; t.m == m {
@@ -112,6 +117,7 @@ func (o *fastObserver) CountOnes(m int) int {
 	return o.src.Binomial(m, o.x)
 }
 
+//fet:hotpath
 func (o *fastObserver) Sample() byte {
 	// Mirrors Source.Bernoulli(x) exactly, including consuming no stream
 	// output when x is outside (0, 1), but reads any prefetched value
@@ -330,6 +336,7 @@ func (o *graphObserver) setNoise(eps float64) {
 	}
 }
 
+//fet:hotpath
 func (o *graphObserver) bind(agent int, src *rng.Source) {
 	o.src = src
 	o.view.Bind(agent)
@@ -360,6 +367,7 @@ func (o *graphObserver) bind(agent int, src *rng.Source) {
 			// Mixed row: the round's whole call sequence is pinned by the
 			// FixedDraws contract, so all its counts compute here in one
 			// generator pass and the calls just read them off.
+			//fet:allow rngmirror: consumes exactly calls·callSize outputs — the round's whole FixedDraws sequence, counted at bind
 			o.src.CountPackedBlocks(o.rowBits, o.shift, o.callSize, o.cnts[:o.calls])
 			o.cpos, o.counted = 0, true
 			return
@@ -375,6 +383,7 @@ func (o *graphObserver) newRound(round int, _ float64, _ []roundTable) {
 	o.view.NewRound(round)
 }
 
+//fet:hotpath
 func (o *graphObserver) CountOnes(m int) int {
 	if !o.packed {
 		count := 0
@@ -397,15 +406,18 @@ func (o *graphObserver) CountOnes(m int) int {
 		switch o.rowBits {
 		case 0:
 			if !o.skip {
+				//fet:allow rngmirror: burns exactly the m draws the per-draw path would spend on an all-zero row
 				o.src.Advance(m)
 			}
 			return 0
 		case o.fullRow:
 			if !o.skip {
+				//fet:allow rngmirror: burns exactly the m draws the per-draw path would spend on an all-one row
 				o.src.Advance(m)
 			}
 			return m
 		}
+		//fet:allow rngmirror: exactly m one-output Lemire draws (power-of-two degree never rejects)
 		return o.src.CountPacked(o.rowBits, o.shift, m)
 	}
 	count := 0
@@ -419,6 +431,7 @@ func (o *graphObserver) CountOnes(m int) int {
 	return count
 }
 
+//fet:hotpath
 func (o *graphObserver) Sample() byte {
 	if !o.packed {
 		return o.sampleLiteral()

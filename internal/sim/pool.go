@@ -217,12 +217,14 @@ func (p *Pool) Release() {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	//fet:allow detrand: shutdown drain; executors are independent, close order is unobservable
 	for key, frees := range p.free {
 		for _, e := range frees {
 			e.close()
 		}
 		delete(p.free, key)
 	}
+	//fet:allow detrand: shutdown drain; dropping references has no observable order
 	for key := range p.freeLock {
 		// Lockstep executors own no background resources — dropping the
 		// references releases their buffers.

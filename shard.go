@@ -315,6 +315,7 @@ func MergeShards(artifacts []*ShardArtifact, verify bool) (*SweepReport, error) 
 			len(rowsByCell), head.Cells, strings.Join(missing, ", "))
 	}
 	rep := &SweepReport{Cells: head.Cells, Replicates: head.Replicates, Rows: make([]SweepRow, 0, head.Cells)}
+	//fet:allow detrand: rows are collected then sorted by cell index below
 	for _, r := range rowsByCell {
 		rep.Rows = append(rep.Rows, r.Row)
 	}
